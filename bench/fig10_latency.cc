@@ -1,0 +1,40 @@
+// Figure 10: throughput vs P50/P99 latency as the number of client threads
+// grows from 2 to 64 (step 4). YCSB-A, 8 B items, both indexes.
+#include "harness/bench_util.h"
+
+using namespace utps;
+using namespace utps::bench;
+
+int main() {
+  const uint64_t keys = DbKeys();
+  std::vector<unsigned> clients;
+  if (Quick()) {
+    clients = {4, 16, 64};
+  } else {
+    clients.push_back(2);
+    for (unsigned c = 4; c <= 64; c += 4) {
+      clients.push_back(c);
+    }
+  }
+
+  for (IndexType index : {IndexType::kHash, IndexType::kTree}) {
+    std::printf("== Figure 10 (%s index): latency vs throughput, YCSB-A 8B ==\n",
+                IndexName(index));
+    PrintTableHeader({"clients", "system", "Mops", "p50(us)", "p99(us)"});
+    TestBed bed(index, WorkloadSpec::YcsbA(keys, 8));
+    for (SystemKind sys : {SystemKind::kMuTps, SystemKind::kBaseKv,
+                           SystemKind::kErpcKv}) {
+      for (unsigned c : clients) {
+        ExperimentConfig cfg = StdConfig(sys, WorkloadSpec::YcsbA(keys, 8));
+        cfg.client_threads = c;
+        cfg.pipeline_depth = 1;  // closed loop: one outstanding per thread
+        const ExperimentResult r = bed.Run(cfg);
+        std::printf("%-14u%-14s%-14.2f%-14.2f%-14.2f\n", c,
+                    DisplayName(sys, index), r.mops, r.p50_ns / 1000.0,
+                    r.p99_ns / 1000.0);
+        std::fflush(stdout);
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Component micro-benchmarks (google-benchmark): host-side costs of the
+// simulator's building blocks and the μTPS support structures. These are the
+// supporting numbers behind the figure benches (e.g. how expensive one cache
+// model access or one Zipfian sample is), and double as performance
+// regression guards for the simulator itself.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "common/zipf.h"
+#include "hotset/sketch.h"
+#include "hotset/topk.h"
+#include "sim/arena.h"
+#include "sim/cache.h"
+#include "sim/engine.h"
+#include "sim/exec.h"
+#include "stats/histogram.h"
+
+namespace utps {
+namespace {
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.Next());
+  }
+}
+BENCHMARK(BM_RngNext);
+
+void BM_ZipfianSample(benchmark::State& state) {
+  Rng rng(1);
+  ScrambledZipfian zipf(10'000'000, 0.99);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Next(rng));
+  }
+}
+BENCHMARK(BM_ZipfianSample);
+
+void BM_CacheModelAccessHit(benchmark::State& state) {
+  sim::MachineConfig cfg;
+  sim::MemoryModel mem(cfg);
+  sim::Arena arena(16 << 20);
+  void* p = arena.Allocate(64);
+  mem.Access(0, 0, sim::Stage::kData, p, 8, false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mem.Access(0, 0, sim::Stage::kData, p, 8, false));
+  }
+}
+BENCHMARK(BM_CacheModelAccessHit);
+
+void BM_CacheModelAccessStream(benchmark::State& state) {
+  sim::MachineConfig cfg;
+  sim::MemoryModel mem(cfg);
+  sim::Arena arena(256 << 20);
+  uint8_t* base = arena.AllocateArray<uint8_t>(128 << 20);
+  uint64_t off = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mem.Access(0, 0, sim::Stage::kData, base + off, 8, false));
+    off = (off + 64) & ((128ull << 20) - 1);
+  }
+}
+BENCHMARK(BM_CacheModelAccessStream);
+
+void BM_CountMinSketchAdd(benchmark::State& state) {
+  CountMinSketch sketch;
+  uint64_t k = 0;
+  for (auto _ : state) {
+    sketch.Add(k++ & 0xffff);
+  }
+}
+BENCHMARK(BM_CountMinSketchAdd);
+
+void BM_TopKOffer(benchmark::State& state) {
+  TopK topk(1024);
+  Rng rng(3);
+  for (auto _ : state) {
+    topk.Offer(rng.NextBounded(100000), static_cast<uint32_t>(rng.NextBounded(1000)));
+  }
+}
+BENCHMARK(BM_TopKOffer);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  Histogram h;
+  Rng rng(4);
+  for (auto _ : state) {
+    h.Record(rng.NextBounded(1 << 20));
+  }
+}
+BENCHMARK(BM_HistogramRecord);
+
+// Cost of one simulated event (schedule + resume a trivial fiber).
+sim::Fiber TickFiber(sim::ExecCtx* ctx, uint64_t n) {
+  for (uint64_t i = 0; i < n; i++) {
+    co_await ctx->Delay(10);
+  }
+}
+
+void BM_EngineEventRoundTrip(benchmark::State& state) {
+  const uint64_t n = 100000;
+  for (auto _ : state) {
+    sim::Engine eng;
+    sim::ExecCtx ctx{.eng = &eng};
+    eng.Spawn(TickFiber(&ctx, n));
+    eng.RunToQuiescence(sim::kSec * 100);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_EngineEventRoundTrip)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace utps
+
+BENCHMARK_MAIN();

@@ -1,0 +1,12 @@
+#!/bin/bash
+# Runs every figure bench sequentially, teeing per-bench outputs to results/.
+# Honours MUTPS_DB_SIZE / MUTPS_BENCH_SCALE / MUTPS_QUICK (see README).
+set -u
+cd "$(dirname "$0")"
+mkdir -p results
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  name=$(basename "$b")
+  echo "=== $name ($(date +%H:%M:%S)) ==="
+  timeout "${MUTPS_BENCH_TIMEOUT:-1800}" "$b" 2>&1 | tee "results/${name}.txt"
+done

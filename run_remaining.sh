@@ -1,0 +1,13 @@
+#!/bin/bash
+set -u
+cd "$(dirname "$0")"
+export MUTPS_DB_SIZE=500000
+export MUTPS_BENCH_SCALE=0.6
+export MUTPS_QUICK=1
+for name in fig08_scan_etc fig09_twitter fig10_latency fig11_scalability fig12_batching fig13_autotuner fig14_dynamic; do
+  echo "=== $name ($(date +%H:%M:%S)) ==="
+  timeout 300 "build/bench/$name" 2>&1 | tee "results/${name}.txt"
+done
+echo "=== micro_components ($(date +%H:%M:%S)) ==="
+timeout 240 build/bench/micro_components --benchmark_min_time=0.1s 2>&1 | tee results/micro_components.txt
+echo ALL_DONE

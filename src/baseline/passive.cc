@@ -1,0 +1,205 @@
+#include "baseline/passive.h"
+
+#include <bit>
+#include <cstring>
+
+namespace utps {
+
+using sim::ExecCtx;
+using sim::Task;
+
+// ------------------------------------------------------------- RaceHash
+
+RaceHashPassive::RaceHashPassive(sim::Arena* arena, uint64_t capacity_items) {
+  // 16 slots per group; size for load factor <= ~0.6.
+  uint64_t groups = std::bit_ceil(capacity_items / 10 + 4);
+  group_mask_ = groups - 1;
+  buckets_ = arena->AllocateArray<Bucket>(2 * groups, kCachelineBytes);
+  std::memset(buckets_, 0, 2 * groups * sizeof(Bucket));
+  spill_.assign(groups, 0);
+}
+
+bool RaceHashPassive::InsertDirect(Key key, Item* item) {
+  const uint64_t h = Mix64(key + 77);
+  const uint64_t home = GroupOf(key);
+  const uint8_t fp = Fp(h);
+  for (unsigned hop = 0; hop < kMaxSpill; hop++) {
+    const uint64_t g = (home + hop) & group_mask_;
+    for (unsigned b = 0; b < 2; b++) {
+      Bucket& bk = buckets_[2 * g + b];
+      for (unsigned s = 0; s < kSlotsPerBucket; s++) {
+        if (bk.slots[s] == 0) {
+          bk.slots[s] = Pack(fp, item);
+          if (hop > spill_[home]) {
+            spill_[home] = static_cast<uint8_t>(hop);
+          }
+          return true;
+        }
+      }
+    }
+  }
+  return false;  // chain exhausted (sizing keeps this negligible)
+}
+
+Task<uint32_t> RaceHashPassive::ClientGet(ExecCtx& cli, Key key,
+                                          uint32_t expected_len, uint8_t* out) {
+  const uint64_t h = Mix64(key + 77);
+  const uint64_t home = GroupOf(key);
+  const uint8_t fp = Fp(h);
+  const unsigned hops = 1u + spill_[home];
+  for (unsigned hop = 0; hop < hops; hop++) {
+    const uint64_t g = (home + hop) & group_mask_;
+    // One doorbell read fetches the whole 128 B group.
+    Bucket group[2];
+    co_await nic_->ReadVerb(cli, group, &buckets_[2 * g], sizeof(group));
+    for (unsigned b = 0; b < 2; b++) {
+      for (unsigned s = 0; s < kSlotsPerBucket; s++) {
+        const uint64_t slot = group[b].slots[s];
+        if (slot == 0 || static_cast<uint8_t>(slot >> 48) != fp) {
+          continue;
+        }
+        Item* it = Unpack(slot);
+        // Read header + value; verify the full key (fp can collide).
+        std::vector<uint8_t> buf(sizeof(Item) + expected_len + 8);
+        co_await nic_->ReadVerb(cli, buf.data(), it,
+                                sizeof(Item) + std::min(expected_len + 8u,
+                                                        it->capacity));
+        const Item* snap = reinterpret_cast<const Item*>(buf.data());
+        if (snap->key != key) {
+          continue;
+        }
+        const uint32_t len = snap->value_len;
+        std::memcpy(out, buf.data() + sizeof(Item), len);
+        co_return len;
+      }
+    }
+  }
+  co_return 0;
+}
+
+Task<bool> RaceHashPassive::ClientPut(ExecCtx& cli, Key key, const uint8_t* value,
+                                      uint32_t len) {
+  const uint64_t h = Mix64(key + 77);
+  const uint64_t g = GroupOf(key);
+  const uint8_t fp = Fp(h);
+  for (unsigned attempt = 0; attempt < 8; attempt++) {
+   for (unsigned hop = 0; hop < 1u + spill_[g]; hop++) {
+    const uint64_t gg = (g + hop) & group_mask_;
+    Bucket group[2];
+    co_await nic_->ReadVerb(cli, group, &buckets_[2 * gg], sizeof(group));
+    for (unsigned b = 0; b < 2; b++) {
+      for (unsigned s = 0; s < kSlotsPerBucket; s++) {
+        const uint64_t slot = group[b].slots[s];
+        if (slot == 0 || static_cast<uint8_t>(slot >> 48) != fp) {
+          continue;
+        }
+        Item* it = Unpack(slot);
+        if (it->key != key) {
+          continue;  // fingerprint collision
+        }
+        // Lock via CAS on the version word, write value + new version, where
+        // the combined write releases the lock (2 verbs after the read).
+        const uint64_t v = it->ctrl;
+        if (v & 1) {
+          break;  // writer active: retry the whole op
+        }
+        const uint64_t old = co_await nic_->CasVerb(cli, &it->ctrl, v, v + 1);
+        if (old != v) {
+          break;  // lost the race: retry
+        }
+        // Combined write: value bytes then the even version (single verb; the
+        // NIC writes are ordered within one WQE).
+        struct {
+          uint64_t ctrl;
+        } release{v + 2};
+        std::vector<uint8_t> wbuf(len);
+        std::memcpy(wbuf.data(), value, len);
+        co_await nic_->WriteVerb(cli, it->value(), wbuf.data(), len);
+        it->value_len = len;
+        co_await nic_->WriteVerb(cli, &it->ctrl, &release, sizeof(release));
+        co_return true;
+      }
+    }
+   }
+    co_await cli.Delay(200);  // backoff before retry
+  }
+  co_return false;
+}
+
+// -------------------------------------------------------------- Sherman
+
+Task<uint32_t> ShermanPassive::ClientGet(ExecCtx& cli, Key key,
+                                         uint32_t expected_len, uint8_t* out) {
+  Item* it = CachedTraverse(cli, key);
+  if (it == nullptr) {
+    co_return 0;
+  }
+  // Leaf read (256 B node) — modeled on the item's neighbourhood — then the
+  // item itself.
+  uint8_t leaf[256];
+  const uintptr_t leaf_addr = reinterpret_cast<uintptr_t>(it) & ~uintptr_t{255};
+  co_await nic_->ReadVerb(cli, leaf, reinterpret_cast<void*>(leaf_addr), 256);
+  std::vector<uint8_t> buf(sizeof(Item) + expected_len + 8);
+  co_await nic_->ReadVerb(
+      cli, buf.data(), it,
+      sizeof(Item) + std::min(expected_len + 8u, it->capacity));
+  const Item* snap = reinterpret_cast<const Item*>(buf.data());
+  const uint32_t len = snap->value_len;
+  std::memcpy(out, buf.data() + sizeof(Item), len);
+  co_return len;
+}
+
+Task<bool> ShermanPassive::ClientPut(ExecCtx& cli, Key key, const uint8_t* value,
+                                     uint32_t len) {
+  Item* it = CachedTraverse(cli, key);
+  if (it == nullptr) {
+    co_return false;
+  }
+  for (unsigned attempt = 0; attempt < 8; attempt++) {
+    const uint64_t v = it->ctrl;
+    if (v & 1) {
+      co_await cli.Delay(200);
+      continue;
+    }
+    const uint64_t old = co_await nic_->CasVerb(cli, &it->ctrl, v, v + 1);
+    if (old != v) {
+      co_await cli.Delay(200);
+      continue;
+    }
+    std::vector<uint8_t> wbuf(len);
+    std::memcpy(wbuf.data(), value, len);
+    co_await nic_->WriteVerb(cli, it->value(), wbuf.data(), len);
+    it->value_len = len;
+    const uint64_t release = v + 2;
+    co_await nic_->WriteVerb(cli, &it->ctrl, &release, sizeof(release));
+    co_return true;
+  }
+  co_return false;
+}
+
+Task<uint32_t> ShermanPassive::ClientScan(ExecCtx& cli, Key lo, Key upper,
+                                          uint32_t count, uint8_t* out) {
+  // Resolve the range on cached internals, then stream leaves: one 1 KB leaf
+  // read per ~10 items (Sherman co-locates values with leaves).
+  Item* items[512];
+  if (count > 512) {
+    count = 512;
+  }
+  cli.Charge(8 * tree_.height());
+  const uint32_t n = tree_.ScanDirect(lo, upper, count, items);
+  uint32_t off = 0;
+  for (uint32_t i = 0; i < n; i += 10) {
+    uint8_t leaf[1024];
+    const uintptr_t leaf_addr = reinterpret_cast<uintptr_t>(items[i]) & ~uintptr_t{255};
+    co_await nic_->ReadVerb(cli, leaf, reinterpret_cast<void*>(leaf_addr),
+                            sizeof(leaf));
+  }
+  for (uint32_t i = 0; i < n; i++) {
+    const uint32_t len = items[i]->value_len;
+    std::memcpy(out + off, items[i]->value(), len);
+    off += len;
+  }
+  co_return off;
+}
+
+}  // namespace utps

@@ -1,0 +1,42 @@
+// Small helpers for reading configuration overrides from the environment.
+// Used by benchmarks so CI-scale runs and paper-scale runs share one binary.
+#ifndef UTPS_COMMON_ENV_H_
+#define UTPS_COMMON_ENV_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace utps {
+
+inline int64_t EnvInt(const char* name, int64_t def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') {
+    return def;
+  }
+  return std::strtoll(v, nullptr, 10);
+}
+
+inline double EnvDouble(const char* name, double def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') {
+    return def;
+  }
+  return std::strtod(v, nullptr);
+}
+
+inline std::string EnvStr(const char* name, const std::string& def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') {
+    return def;
+  }
+  return v;
+}
+
+// Global scale knob for benchmark runtime: 1 = quick CI run, larger values
+// lengthen virtual measurement windows proportionally.
+inline double BenchScale() { return EnvDouble("MUTPS_BENCH_SCALE", 1.0); }
+
+}  // namespace utps
+
+#endif  // UTPS_COMMON_ENV_H_

@@ -1,0 +1,47 @@
+// Lightweight assertion and hint macros shared by all μTPS modules.
+//
+// The simulator is a single-host-thread program whose correctness depends on
+// many internal invariants; CHECK() is always on (it guards simulation
+// integrity, not user input), DCHECK() compiles out in release builds.
+#ifndef UTPS_COMMON_MACROS_H_
+#define UTPS_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define UTPS_LIKELY(x) __builtin_expect(!!(x), 1)
+#define UTPS_UNLIKELY(x) __builtin_expect(!!(x), 0)
+
+#define UTPS_CHECK(cond)                                                              \
+  do {                                                                                \
+    if (UTPS_UNLIKELY(!(cond))) {                                                     \
+      std::fprintf(stderr, "CHECK failed: %s at %s:%d\n", #cond, __FILE__, __LINE__); \
+      std::abort();                                                                   \
+    }                                                                                 \
+  } while (0)
+
+#define UTPS_CHECK_MSG(cond, fmt, ...)                                                   \
+  do {                                                                                   \
+    if (UTPS_UNLIKELY(!(cond))) {                                                        \
+      std::fprintf(stderr, "CHECK failed: %s at %s:%d: " fmt "\n", #cond, __FILE__,      \
+                   __LINE__, ##__VA_ARGS__);                                             \
+      std::abort();                                                                      \
+    }                                                                                    \
+  } while (0)
+
+#ifdef NDEBUG
+#define UTPS_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#else
+#define UTPS_DCHECK(cond) UTPS_CHECK(cond)
+#endif
+
+namespace utps {
+
+// Cacheline size assumed throughout the cache model and data layouts.
+inline constexpr unsigned kCachelineBytes = 64;
+
+}  // namespace utps
+
+#endif  // UTPS_COMMON_MACROS_H_

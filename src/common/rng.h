@@ -1,0 +1,66 @@
+// Deterministic, fast pseudo-random generators used everywhere randomness is
+// needed (workload generation, sampling, hashing). std::mt19937 is avoided on
+// hot paths; xorshift128+ is more than good enough for workload synthesis and
+// is fully deterministic across runs.
+#ifndef UTPS_COMMON_RNG_H_
+#define UTPS_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace utps {
+
+// SplitMix64: used to seed other generators and as a cheap integer mixer.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Stateless mix of a 64-bit value (Fibonacci/murmur-style finalizer).
+inline uint64_t Mix64(uint64_t z) {
+  z ^= z >> 33;
+  z *= 0xff51afd7ed558ccdULL;
+  z ^= z >> 33;
+  z *= 0xc4ceb9fe1a85ec53ULL;
+  z ^= z >> 33;
+  return z;
+}
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    uint64_t sm = seed;
+    s0_ = SplitMix64(sm);
+    s1_ = SplitMix64(sm);
+  }
+
+  // xorshift128+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  // Uniform in [0, bound). Lemire's multiply-shift reduction (slightly biased
+  // for huge bounds; irrelevant for workload synthesis).
+  uint64_t NextBounded(uint64_t bound) {
+    return static_cast<uint64_t>((static_cast<__uint128_t>(Next()) * bound) >> 64);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace utps
+
+#endif  // UTPS_COMMON_RNG_H_

@@ -1,0 +1,108 @@
+// Zipfian key-popularity generators.
+//
+// ZipfianGenerator implements the Gray et al. rejection-free method used by
+// YCSB: amortized O(1) sampling after O(n)-free setup (zeta is computed
+// incrementally with a closed-form approximation for large n, matching YCSB's
+// ZipfianGenerator).  ScrambledZipfian spreads the popular items uniformly
+// over the keyspace via a stateless hash, matching YCSB semantics so that
+// hot keys are not physically adjacent.
+#ifndef UTPS_COMMON_ZIPF_H_
+#define UTPS_COMMON_ZIPF_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/macros.h"
+#include "common/rng.h"
+
+namespace utps {
+
+class ZipfianGenerator {
+ public:
+  // n: number of items; theta: skew (YCSB default 0.99). theta == 0 degrades
+  // to uniform.
+  ZipfianGenerator(uint64_t n, double theta = 0.99) : n_(n), theta_(theta) {
+    UTPS_CHECK(n >= 1);
+    if (theta_ <= 0.0) {
+      uniform_ = true;
+      return;
+    }
+    zetan_ = ZetaApprox(n_, theta_);
+    zeta2_ = ZetaApprox(2, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2_ / zetan_);
+  }
+
+  // Returns a rank in [0, n) where rank 0 is the most popular item.
+  uint64_t Next(Rng& rng) const {
+    if (uniform_) {
+      return rng.NextBounded(n_);
+    }
+    const double u = rng.NextDouble();
+    const double uz = u * zetan_;
+    if (uz < 1.0) {
+      return 0;
+    }
+    if (uz < 1.0 + std::pow(0.5, theta_)) {
+      return 1;
+    }
+    const double v =
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_);
+    uint64_t r = static_cast<uint64_t>(v);
+    return r >= n_ ? n_ - 1 : r;
+  }
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  // Harmonic-like zeta(n, theta) = sum_{i=1..n} 1/i^theta. Exact for small n;
+  // Euler–Maclaurin approximation for large n (error is far below workload
+  // noise).
+  static double ZetaApprox(uint64_t n, double theta) {
+    const uint64_t kExactLimit = 1000;
+    double z = 0.0;
+    const uint64_t exact = n < kExactLimit ? n : kExactLimit;
+    for (uint64_t i = 1; i <= exact; i++) {
+      z += std::pow(1.0 / static_cast<double>(i), theta);
+    }
+    if (n > exact) {
+      // Integral approximation of the tail sum_{exact+1..n} i^-theta.
+      const double a = static_cast<double>(exact);
+      const double b = static_cast<double>(n);
+      z += (std::pow(b, 1.0 - theta) - std::pow(a, 1.0 - theta)) / (1.0 - theta);
+    }
+    return z;
+  }
+
+  uint64_t n_;
+  double theta_;
+  bool uniform_ = false;
+  double zetan_ = 0.0;
+  double zeta2_ = 0.0;
+  double alpha_ = 0.0;
+  double eta_ = 0.0;
+};
+
+// YCSB-style scrambled Zipfian: hash the Zipfian rank into the keyspace so the
+// hottest keys are spread uniformly over [0, n).
+class ScrambledZipfian {
+ public:
+  ScrambledZipfian(uint64_t n, double theta = 0.99) : gen_(n, theta), n_(n) {}
+
+  uint64_t Next(Rng& rng) const { return Mix64(gen_.Next(rng)) % n_; }
+
+  // The key that a given popularity rank maps to (rank 0 = hottest).
+  uint64_t KeyOfRank(uint64_t rank) const { return Mix64(rank) % n_; }
+
+  uint64_t n() const { return n_; }
+
+ private:
+  ZipfianGenerator gen_;
+  uint64_t n_;
+};
+
+}  // namespace utps
+
+#endif  // UTPS_COMMON_ZIPF_H_

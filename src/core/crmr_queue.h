@@ -1,0 +1,103 @@
+// The CR-MR queue (§3.4): all-to-all mapping of cache-resident-layer threads
+// to memory-resident-layer threads; each (CR, MR) pair has a dedicated SPSC
+// ring whose slots carry a batch of compact 16-byte request descriptors.
+//
+// Completion is piggybacked on the tail pointer: the MR consumer advances
+// `tail` only after every request in the slot has been processed and its
+// response bytes placed in the CR worker's response buffer; the CR producer
+// polls `tail` and then delivers the responses to clients.
+//
+// Modeled memory: the descriptor slots and head/tail words live in the arena
+// and are charged through the cache model. Full-size host bookkeeping
+// (completion handles, buffer pointers, scan parameters) rides in a parallel
+// unmodeled array, exactly mirroring the paper's trick of keeping the on-ring
+// descriptor at 16 bytes.
+#ifndef UTPS_CORE_CRMR_QUEUE_H_
+#define UTPS_CORE_CRMR_QUEUE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+#include "net/rpc.h"
+#include "sim/arena.h"
+#include "sim/nic.h"
+#include "store/kv.h"
+
+namespace utps {
+
+// The paper's Figure 6 16-byte descriptor.
+struct CrMrDesc {
+  Key key;           // 8 B (longer keys would be hashed into this field)
+  uint32_t op_len;   // type (4 bits) | KV size (28 bits)
+  uint32_t buf;      // network-buffer slot reference
+};
+static_assert(sizeof(CrMrDesc) == 16, "descriptor layout");
+
+// Host-side companion of a descriptor.
+struct CrMrHostDesc {
+  sim::NicMessage msg;          // client completion routing
+  uint8_t* resp = nullptr;      // response payload target (CR's resp buffer)
+  const uint8_t* payload = nullptr;  // put payload within the rx slot
+  uint64_t rx_seq = 0;          // receive slot to credit on completion
+  uint32_t resp_cap = 0;
+  uint32_t resp_len = 0;        // filled by the MR layer
+  // Scan extension (§4): range parameters and the hot keys the CR layer
+  // already served (the MR layer skips them).
+  uint32_t scan_count = 0;
+  Key scan_upper = 0;
+  uint32_t resp_off = 0;        // bytes already filled by the CR layer
+  uint8_t num_skip = 0;
+  Key skip_keys[8] = {};
+};
+
+class CrMrRing {
+ public:
+  static constexpr unsigned kMaxBatch = 20;  // matches the paper's sweep limit
+  static constexpr unsigned kNumSlots = 32;
+
+  struct Slot {
+    uint32_t count = 0;
+    uint32_t pad = 0;
+    CrMrDesc descs[kMaxBatch];
+  };
+
+  // Cacheline-aligned modeled control words.
+  struct Control {
+    alignas(kCachelineBytes) uint64_t head = 0;  // producer-advanced
+    alignas(kCachelineBytes) uint64_t tail = 0;  // consumer-advanced (= completion)
+  };
+
+  void Init(sim::Arena* arena) {
+    slots_ = arena->AllocateArray<Slot>(kNumSlots, kCachelineBytes);
+    ctl_ = arena->AllocateArray<Control>(1, kCachelineBytes);
+    new (ctl_) Control();
+    for (unsigned i = 0; i < kNumSlots; i++) {
+      new (&slots_[i]) Slot();
+    }
+    host_.resize(size_t{kNumSlots} * kMaxBatch);
+  }
+
+  bool Full() const { return ctl_->head - ctl_->tail >= kNumSlots; }
+  bool HasWork(uint64_t pop_cursor) const { return ctl_->head > pop_cursor; }
+
+  Slot* SlotAt(uint64_t seq) { return &slots_[seq % kNumSlots]; }
+  CrMrHostDesc* HostAt(uint64_t seq) { return &host_[(seq % kNumSlots) * kMaxBatch]; }
+
+  uint64_t head() const { return ctl_->head; }
+  uint64_t tail() const { return ctl_->tail; }
+  void AdvanceHead() { ctl_->head++; }
+  void AdvanceTail() { ctl_->tail++; }
+
+  const uint64_t* head_addr() const { return &ctl_->head; }
+  const uint64_t* tail_addr() const { return &ctl_->tail; }
+
+ private:
+  Slot* slots_ = nullptr;
+  Control* ctl_ = nullptr;
+  std::vector<CrMrHostDesc> host_;
+};
+
+}  // namespace utps
+
+#endif  // UTPS_CORE_CRMR_QUEUE_H_

@@ -1,0 +1,775 @@
+#include "core/mutps.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/rng.h"
+#include "store/item.h"
+
+namespace utps {
+
+using sim::ExecCtx;
+using sim::Fiber;
+using sim::Stage;
+using sim::StageScope;
+using sim::Task;
+using sim::Tick;
+
+namespace {
+constexpr uint32_t kMaxValueBytes = 1088;
+constexpr uint32_t kScanRespCap = 8192;
+}  // namespace
+
+MuTpsServer::MuTpsServer(const ServerEnv& env, const Options& opt)
+    : env_(env), opt_(opt), cache_k_(opt.initial_cache_items) {
+  rx_ = std::make_unique<RxRing>(env_.arena, opt_.rx);
+  const unsigned w = env_.num_workers;
+  rings_.resize(size_t{w} * w);
+  for (auto& r : rings_) {
+    r.Init(env_.arena);
+  }
+  hot_ = std::make_unique<HotSetManager>(env_.arena, w);
+  workers_.resize(w);
+  for (unsigned i = 0; i < w; i++) {
+    Worker& wk = workers_[i];
+    wk.ctx = ExecCtx{.eng = env_.eng, .mem = env_.mem,
+                     .core = static_cast<sim::CoreId>(i)};
+    resp_bufs_.push_back(std::make_unique<RespBuffer>(env_.arena));
+    wk.resp = resp_bufs_.back().get();
+    wk.staging.resize(w);
+    wk.seen_tail.assign(w, 0);
+    wk.pop_cursor.assign(w, 0);
+  }
+  mgr_ctx_ = ExecCtx{.eng = env_.eng, .mem = env_.mem,
+                     .core = static_cast<sim::CoreId>(w < 32 ? w : 0)};
+  unsigned ncr = opt_.initial_ncr;
+  if (ncr == 0) {
+    ncr = std::max(1u, w / 3);
+  }
+  if (ncr >= w && w > 1) {
+    ncr = w - 1;
+  }
+  cfg_ = Config{ncr, 0, 1};
+  // Default LLC policy before tuning: CR owns all ways; MR reuses all ways.
+  env_.mem->SetClosMask(opt_.cr_clos, env_.mem->config().AllWaysMask());
+  env_.mem->SetClosMask(opt_.mr_clos, env_.mem->config().AllWaysMask());
+  mr_ways_ = env_.mem->config().llc_ways;
+}
+
+void MuTpsServer::Start() {
+  for (unsigned i = 0; i < env_.num_workers; i++) {
+    workers_[i].adopted_version = cfg_.version;
+    env_.eng->Spawn(WorkerMain(i));
+  }
+  env_.eng->Spawn(ManagerMain());
+}
+
+uint64_t MuTpsServer::OpsCompleted() const {
+  uint64_t total = 0;
+  for (const Worker& w : workers_) {
+    total += w.ops;
+  }
+  return total;
+}
+
+void MuTpsServer::ResetStats() {
+  for (Worker& w : workers_) {
+    w.ops = 0;
+  }
+}
+
+Fiber MuTpsServer::WorkerMain(unsigned idx) {
+  Worker& w = workers_[idx];
+  while (!stop_) {
+    if (idx < cfg_.ncr) {
+      co_await CrRun(idx);
+    } else {
+      co_await MrRun(idx);
+    }
+    co_await w.ctx.Yield();
+  }
+}
+
+// =========================================================================
+// Cache-resident layer (§3.2): FSM over {poll rx, hot-path serve, forward,
+// poll CR-MR completions}.
+// =========================================================================
+
+Task<void> MuTpsServer::CrRun(unsigned idx) {
+  Worker& w = workers_[idx];
+  ExecCtx& ctx = w.ctx;
+  w.is_cr = true;
+  ctx.clos = opt_.cr_clos;
+  w.adopted_version = cfg_.version;
+  unsigned local_ncr = cfg_.ncr;
+  w.local_ncr = local_ncr;
+  // Start claiming at the switch sequence — NOT at the current fill sequence:
+  // slots in [switch_seq, fill_seq) with this worker's residue arrived while
+  // the worker was still draining its MR role and belong to it.
+  w.next_seq = AlignSeq(cfg_.switch_seq, local_ncr, idx);
+  for (unsigned t = 0; t < env_.num_workers; t++) {
+    w.seen_tail[t] = RingAt(idx, t).tail();
+  }
+  w.outstanding = 0;
+  uint64_t hot_epoch_seen = hot_->epoch();
+  hot_->AckEpoch(idx, hot_epoch_seen);
+  Rng sample_rng(0xabcd0000 + idx);
+
+  while (!stop_) {
+    // --- configuration adoption (predefined-slot protocol, §3.5) ---
+    if (cfg_.version != w.adopted_version && w.next_seq >= cfg_.switch_seq) {
+      // Flush everything staged under the old MR set first: when the CR
+      // layer grows, some staged targets are about to become CR workers and
+      // would otherwise strand these descriptors.
+      for (unsigned t = 0; t < env_.num_workers; t++) {
+        if (!w.staging[t].descs.empty()) {
+          co_await CrFlushStaging(idx, t);
+        }
+      }
+      w.adopted_version = cfg_.version;
+      cr_acks_++;
+      if (idx >= cfg_.ncr) {
+        // Leaving the CR layer: drain in-flight batches before switching.
+        co_await CrDrainOutstanding(idx);
+        co_return;
+      }
+      local_ncr = cfg_.ncr;
+      w.local_ncr = local_ncr;
+      w.next_seq = AlignSeq(cfg_.switch_seq, local_ncr, idx);
+    }
+    // --- hot-set epoch adoption ---
+    if (hot_->epoch() != hot_epoch_seen) {
+      hot_epoch_seen = hot_->epoch();
+      hot_->AckEpoch(idx, hot_epoch_seen);
+      ctx.Charge(4);  // re-read the published pointer pair
+    }
+    // --- receive-ring poll ---
+    bool claimed = false;
+    {
+      StageScope s(ctx, Stage::kPoll);
+      rx_->Advance(*env_.nic, 0, ctx.eng->now());
+      ctx.Charge(4);
+      co_await ctx.Read(rx_->Header(w.next_seq), 16);
+      if (rx_->IsClosed(w.next_seq)) {
+        rx_->Claim(w.next_seq);
+        ctx.Charge(3);
+        claimed = true;
+      }
+    }
+    if (claimed) {
+      const uint64_t seq = w.next_seq;
+      const unsigned cnt = rx_->Header(seq)->nreq;
+      for (unsigned i = 0; i < cnt; i++) {
+        // Sampling for the hot-set tracker (~1/32 of requests).
+        if ((sample_rng.Next() & 31) == 0) {
+          hot_->Ring(idx).Push(rx_->Records(seq)[i].key);
+          ctx.Charge(2);
+        }
+        co_await CrHandleRecord(idx, seq, i);
+      }
+      w.next_seq += local_ncr;
+    }
+    // --- staged-batch flush on timeout ---
+    const unsigned nmr = env_.num_workers - local_ncr;
+    for (unsigned t = local_ncr; t < env_.num_workers && nmr > 0; t++) {
+      Worker::Staging& st = w.staging[t];
+      if (!st.descs.empty() &&
+          ctx.Now() - st.first_ns >= opt_.flush_timeout_ns) {
+        co_await CrFlushStaging(idx, t);
+        if (t == local_ncr + (w.rr_next % nmr)) {
+          w.rr_next++;
+        }
+      }
+    }
+    // --- completions from the MR layer ---
+    co_await CrPollCompletions(idx);
+    co_await ctx.Yield();
+  }
+}
+
+Task<bool> MuTpsServer::CrHandleRecord(unsigned idx, uint64_t rx_seq,
+                                       unsigned rec_idx) {
+  Worker& w = workers_[idx];
+  ExecCtx& ctx = w.ctx;
+  RxRecord* rec = &rx_->Records(rx_seq)[rec_idx];
+  {
+    StageScope s(ctx, Stage::kParse);
+    co_await ctx.Read(rec, sizeof(RxRecord));
+    ctx.Charge(env_.parse_cpu_ns);
+  }
+  const Key key = rec->key;
+  const OpType op = rec->op();
+  const uint32_t vlen = rec->value_len();
+  const bool is_scan = op == OpType::kScan;
+
+  // --- hot path ---
+  Item* hot_item = nullptr;
+  if (opt_.enable_cache && !is_scan) {
+    if (env_.index_type == IndexType::kTree) {
+      StageScope s(ctx, Stage::kCacheCheck);
+      hot_item = co_await HotArrayLookup(ctx, hot_->ActiveArray(), key);
+    } else {
+      bool maybe_hot;
+      {
+        StageScope s(ctx, Stage::kCacheCheck);
+        maybe_hot = co_await HotFilterContains(ctx, hot_->ActiveFilter(), key);
+      }
+      if (maybe_hot) {
+        StageScope s(ctx, Stage::kIndex);
+        hot_item = co_await env_.index->CoGet(ctx, key);
+      }
+    }
+    if (hot_item != nullptr && op == OpType::kPut && vlen > hot_item->capacity) {
+      hot_item = nullptr;  // needs reallocation: take the MR slow path
+    }
+  }
+  if (hot_item != nullptr) {
+    co_await CrServeHot(idx, hot_item, *rec, rx_seq, rec_idx);
+    co_return true;
+  }
+
+  // --- miss path: forward through the CR-MR queue ---
+  const unsigned local_ncr = w.local_ncr;
+  const unsigned nmr = env_.num_workers - local_ncr;
+  if (nmr == 0) {
+    // Degenerate split (pure run-to-completion): process inline.
+    CrMrHostDesc hd;
+    hd.msg = rx_->Msgs(rx_seq)[rec_idx];
+    hd.rx_seq = rx_seq;
+    if (op == OpType::kGet) {
+      uint8_t* resp = w.resp->Alloc(std::min(vlen + 8, kMaxValueBytes));
+      hd.resp = resp;
+      hd.resp_len = co_await ExecGet(ctx, env_, key, resp);
+    } else if (op == OpType::kPut) {
+      const uint8_t* payload = rx_->Data(rx_seq) + rec->payload_off;
+      co_await ExecPut(ctx, env_, key, payload, vlen);
+    } else {
+      uint8_t* resp = w.resp->Alloc(kScanRespCap);
+      hd.resp = resp;
+      hd.resp_len = co_await ExecScan(ctx, env_, key, rec->scan_upper,
+                                      rec->scan_count, resp, kScanRespCap,
+                                      nullptr, 0);
+    }
+    SendResponse(w, hd);
+    co_return true;
+  }
+
+  CrMrDesc d{key, RxRecord::PackOpLen(op, vlen),
+             static_cast<uint32_t>(rx_seq % opt_.rx.num_slots) << 8 |
+                 static_cast<uint32_t>(rec_idx)};
+  CrMrHostDesc hd;
+  hd.msg = rx_->Msgs(rx_seq)[rec_idx];
+  hd.rx_seq = rx_seq;
+  if (op == OpType::kGet) {
+    hd.resp = w.resp->Alloc(std::min(vlen + 8, kMaxValueBytes));
+    hd.resp_cap = std::min(vlen + 8, kMaxValueBytes);
+  } else if (op == OpType::kPut) {
+    hd.payload = rx_->Data(rx_seq) + rec->payload_off;
+  } else {
+    hd.resp = w.resp->Alloc(kScanRespCap);
+    hd.resp_cap = kScanRespCap;
+    hd.scan_count = rec->scan_count;
+    hd.scan_upper = rec->scan_upper;
+    // Collaborative scan (§4): serve hot items in range from the CR cache,
+    // then forward with a skip list.
+    if (opt_.enable_cache && env_.index_type == IndexType::kTree) {
+      const HotArray* ha = hot_->ActiveArray();
+      StageScope s(ctx, Stage::kData);
+      uint32_t lo = 0;
+      uint32_t hi = ha->count;
+      while (lo < hi) {
+        const uint32_t mid = (lo + hi) / 2;
+        co_await ctx.Read(&ha->entries[mid], sizeof(HotArray::Entry));
+        if (ha->entries[mid].key < key) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      while (lo < ha->count && hd.num_skip < 8 &&
+             ha->entries[lo].key <= rec->scan_upper) {
+        Item* it = ha->entries[lo].item;
+        const uint32_t len = co_await ItemRead(ctx, it, hd.resp + hd.resp_off);
+        co_await ctx.Write(hd.resp + hd.resp_off, len);
+        hd.resp_off += len;
+        hd.skip_keys[hd.num_skip++] = ha->entries[lo].key;
+        lo++;
+      }
+    }
+  }
+  // Round-robin over the MR set at BATCH granularity: fill the current
+  // target's batch, then move to the next MR worker (§3.4: a CR thread
+  // pushes an item only when enough requests have accumulated).
+  const unsigned target = local_ncr + (w.rr_next % nmr);
+  Worker::Staging& st = w.staging[target];
+  if (st.descs.empty()) {
+    st.first_ns = ctx.Now();
+  }
+  st.descs.push_back(d);
+  st.host.push_back(hd);
+  ctx.Charge(3);  // staging append
+  if (st.descs.size() >= opt_.batch_size) {
+    co_await CrFlushStaging(idx, target);
+    w.rr_next++;
+  }
+  co_return true;
+}
+
+Task<void> MuTpsServer::CrServeHot(unsigned idx, Item* item, const RxRecord& rec,
+                                   uint64_t rx_seq, unsigned rec_idx) {
+  Worker& w = workers_[idx];
+  ExecCtx& ctx = w.ctx;
+  CrMrHostDesc hd;
+  hd.msg = rx_->Msgs(rx_seq)[rec_idx];
+  hd.rx_seq = rx_seq;
+  if (rec.op() == OpType::kGet) {
+    uint8_t* resp = w.resp->Alloc(std::min(rec.value_len() + 8, kMaxValueBytes));
+    StageScope s(ctx, Stage::kData);
+    const uint32_t len = co_await ItemRead(ctx, item, resp);
+    co_await ctx.Write(resp, len);
+    hd.resp = resp;
+    hd.resp_len = len;
+  } else {
+    const uint8_t* payload = rx_->Data(rx_seq) + rec.payload_off;
+    StageScope s(ctx, Stage::kData);
+    co_await ctx.Read(payload, rec.value_len());
+    co_await ItemWrite(ctx, item, payload, rec.value_len());
+  }
+  SendResponse(w, hd);
+}
+
+void MuTpsServer::SendResponse(Worker& w, const CrMrHostDesc& hd) {
+  StageScope s(w.ctx, Stage::kRespond);
+  w.ctx.Charge(env_.respond_cpu_ns);
+  // Note: the CR layer never touches the response payload; the RNIC reads it
+  // directly from the response buffer (§3.3 "Copying data items").
+  env_.nic->ServerSend(w.ctx, hd.msg, hd.resp, hd.resp_len + hd.resp_off);
+  rx_->CompleteOne(hd.rx_seq);
+  w.ops++;
+}
+
+Task<void> MuTpsServer::CrFlushStaging(unsigned idx, unsigned target) {
+  Worker& w = workers_[idx];
+  ExecCtx& ctx = w.ctx;
+  Worker::Staging& st = w.staging[target];
+  if (st.descs.empty()) {
+    co_return;
+  }
+  CrMrRing& r = RingAt(idx, target);
+  // Flow control against OUR completion cursor, not the consumer's tail: a
+  // physical slot must not be reused until its responses have been sent
+  // (seen_tail advanced), or the new batch would overwrite the old one's
+  // descriptors.
+  while (r.head() - w.seen_tail[target] >= CrMrRing::kNumSlots && !stop_) {
+    co_await CrPollCompletions(idx);
+    co_await ctx.Yield();
+  }
+  if (stop_) {
+    co_return;
+  }
+  const uint64_t seq = r.head();
+  CrMrRing::Slot* slot = r.SlotAt(seq);
+  const unsigned cnt =
+      std::min<unsigned>(st.descs.size(), CrMrRing::kMaxBatch);
+  slot->count = cnt;
+  CrMrHostDesc* host = r.HostAt(seq);
+  for (unsigned i = 0; i < cnt; i++) {
+    slot->descs[i] = st.descs[i];
+    host[i] = st.host[i];
+  }
+  {
+    StageScope s(ctx, Stage::kQueue);
+    co_await ctx.Write(slot, 8 + sizeof(CrMrDesc) * cnt);
+    r.AdvanceHead();
+    co_await ctx.Write(r.head_addr(), 8);
+  }
+  w.outstanding += cnt;
+  st.descs.erase(st.descs.begin(), st.descs.begin() + cnt);
+  st.host.erase(st.host.begin(), st.host.begin() + cnt);
+  if (!st.descs.empty()) {
+    st.first_ns = ctx.Now();
+  }
+}
+
+Task<void> MuTpsServer::CrPollCompletions(unsigned idx) {
+  Worker& w = workers_[idx];
+  ExecCtx& ctx = w.ctx;
+  if (w.outstanding == 0) {
+    co_return;
+  }
+  for (unsigned t = 0; t < env_.num_workers; t++) {
+    CrMrRing& r = RingAt(idx, t);
+    if (w.seen_tail[t] >= r.head()) {
+      continue;  // nothing in flight on this ring
+    }
+    {
+      StageScope s(ctx, Stage::kQueue);
+      co_await ctx.Read(r.tail_addr(), 8);
+    }
+    while (w.seen_tail[t] < r.tail()) {
+      const uint64_t seq = w.seen_tail[t];
+      CrMrRing::Slot* slot = r.SlotAt(seq);
+      CrMrHostDesc* host = r.HostAt(seq);
+      for (unsigned i = 0; i < slot->count; i++) {
+        SendResponse(w, host[i]);
+      }
+      w.outstanding -= slot->count;
+      w.seen_tail[t]++;
+    }
+  }
+}
+
+Task<void> MuTpsServer::CrDrainOutstanding(unsigned idx) {
+  Worker& w = workers_[idx];
+  for (unsigned t = 0; t < env_.num_workers; t++) {
+    if (!w.staging[t].descs.empty()) {
+      co_await CrFlushStaging(idx, t);
+    }
+  }
+  while (w.outstanding > 0 && !stop_) {
+    co_await CrPollCompletions(idx);
+    co_await w.ctx.Yield();
+  }
+}
+
+// =========================================================================
+// Memory-resident layer (§3.3): batched coroutine indexing + data copies.
+// =========================================================================
+
+Task<void> MuTpsServer::MrRun(unsigned idx) {
+  Worker& w = workers_[idx];
+  ExecCtx& ctx = w.ctx;
+  w.is_cr = false;
+  ctx.clos = opt_.mr_clos;
+  w.adopted_version = cfg_.version;
+  for (unsigned p = 0; p < env_.num_workers; p++) {
+    // Resume consumption at the tail: CR workers that adopted the new
+    // configuration first may already have pushed batches for us.
+    w.pop_cursor[p] = RingAt(p, idx).tail();
+  }
+  uint64_t hot_epoch_seen = hot_->epoch();
+  hot_->AckEpoch(idx, hot_epoch_seen);
+
+  while (!stop_) {
+    // --- configuration adoption ---
+    if (cfg_.version != w.adopted_version) {
+      if (idx < cfg_.ncr) {
+        // Joining the CR layer: wait until every old CR worker has switched
+        // and our inbound rings are drained (§3.5, MR -> CR direction).
+        bool rings_empty = true;
+        for (unsigned p = 0; p < env_.num_workers; p++) {
+          CrMrRing& r = RingAt(p, idx);
+          if (r.head() != r.tail() || r.head() != w.pop_cursor[p]) {
+            rings_empty = false;
+            break;
+          }
+        }
+        if (cr_acks_ >= expected_acks_ && rings_empty) {
+          w.adopted_version = cfg_.version;
+          co_return;  // WorkerMain re-enters as CR
+        }
+      } else {
+        w.adopted_version = cfg_.version;  // stay MR under the new config
+      }
+    }
+    if (hot_->epoch() != hot_epoch_seen) {
+      hot_epoch_seen = hot_->epoch();
+      hot_->AckEpoch(idx, hot_epoch_seen);
+      ctx.Charge(4);
+    }
+    // --- scan producer rings (all-to-all mapping) ---
+    bool found = false;
+    for (unsigned step = 0; step < env_.num_workers; step++) {
+      const unsigned p = (w.rr_next + step) % env_.num_workers;
+      CrMrRing& r = RingAt(p, idx);
+      if (w.pop_cursor[p] >= r.head()) {
+        continue;
+      }
+      {
+        StageScope s(ctx, Stage::kQueue);
+        co_await ctx.Read(r.head_addr(), 8);
+      }
+      if (w.pop_cursor[p] < r.head()) {
+        found = true;
+        w.rr_next = p + 1;
+        const uint64_t seq = w.pop_cursor[p];
+        w.pop_cursor[p]++;
+        co_await MrProcessSlot(idx, p, seq);
+        break;
+      }
+    }
+    if (!found) {
+      ctx.Charge(4);  // idle ring sweep
+    }
+    co_await ctx.Yield();
+  }
+}
+
+Task<void> MuTpsServer::MrProcessSlot(unsigned idx, unsigned producer,
+                                      uint64_t seq) {
+  Worker& w = workers_[idx];
+  ExecCtx& ctx = w.ctx;
+  CrMrRing& r = RingAt(producer, idx);
+  CrMrRing::Slot* slot = r.SlotAt(seq);
+  CrMrHostDesc* host = r.HostAt(seq);
+  unsigned cnt;
+  {
+    StageScope s(ctx, Stage::kQueue);
+    co_await ctx.Read(slot, 8);
+    cnt = slot->count;
+    co_await ctx.Read(slot->descs, sizeof(CrMrDesc) * cnt);
+  }
+  UTPS_DCHECK(cnt <= CrMrRing::kMaxBatch);
+  // Batched execution: index traversals (and data copies) of the whole batch
+  // interleave at memory stalls.
+  Task<void> tasks[CrMrRing::kMaxBatch];
+  for (unsigned i = 0; i < cnt; i++) {
+    tasks[i] = MrProcessOne(idx, slot->descs[i], &host[i]);
+  }
+  co_await sim::RunBatch(ctx, tasks, cnt);
+  // Completion signal: advance the tail pointer only now that all responses
+  // of the batch are in place (§3.4).
+  {
+    StageScope s(ctx, Stage::kQueue);
+    r.AdvanceTail();
+    co_await ctx.Write(r.tail_addr(), 8);
+  }
+}
+
+Task<void> MuTpsServer::MrProcessOne(unsigned idx, CrMrDesc d, CrMrHostDesc* hd) {
+  Worker& w = workers_[idx];
+  ExecCtx& ctx = w.ctx;
+  const OpType op = static_cast<OpType>(d.op_len >> 28);
+  const uint32_t vlen = d.op_len & 0x0fffffffu;
+  if (op == OpType::kGet) {
+    hd->resp_len = co_await ExecGet(ctx, env_, d.key, hd->resp);
+  } else if (op == OpType::kPut) {
+    co_await ExecPut(ctx, env_, d.key, hd->payload, vlen);
+  } else {
+    hd->resp_len = co_await ExecScan(
+        ctx, env_, d.key, hd->scan_upper, hd->scan_count, hd->resp + hd->resp_off,
+        hd->resp_cap - hd->resp_off, hd->skip_keys, hd->num_skip);
+  }
+}
+
+// =========================================================================
+// Manager: hot-set refresh + auto-tuner (§3.5).
+// =========================================================================
+
+Fiber MuTpsServer::ManagerMain() {
+  ExecCtx& ctx = mgr_ctx_;
+  // Build the first hot set early so warm-up converges quickly.
+  co_await ctx.Delay(opt_.refresh_period_ns / 4);
+  while (!stop_) {
+    co_await RefreshHotSet(opt_.enable_cache ? cache_k_ : 0);
+    if (stop_) {
+      break;
+    }
+    if (pending_ncr_request_ != 0 && pending_ncr_request_ != cfg_.ncr) {
+      const unsigned req = pending_ncr_request_;
+      pending_ncr_request_ = 0;
+      co_await Reconfigure(req);
+    }
+    const double mops = co_await MeasureWindow();
+    const bool drifted =
+        ewma_mops_ > 0.0 &&
+        (mops < ewma_mops_ * (1.0 - opt_.retune_drift) ||
+         mops > ewma_mops_ * (1.0 + opt_.retune_drift));
+    if (opt_.autotune && (!tuned_once_ || drifted)) {
+      co_await Autotune();
+      tuned_once_ = true;
+    } else {
+      ewma_mops_ = ewma_mops_ == 0.0 ? mops : 0.7 * ewma_mops_ + 0.3 * mops;
+    }
+    hot_->DecaySketch();
+    co_await ctx.Delay(opt_.refresh_period_ns);
+  }
+}
+
+Task<void> MuTpsServer::RefreshHotSet(uint32_t k) {
+  ExecCtx& ctx = mgr_ctx_;
+  const uint32_t samples = hot_->DrainSamples();
+  // Sketch/top-K maintenance cost on the management core.
+  co_await ctx.Delay(100 + samples * 25ull);
+  hot_->BuildAndPublish(std::min(k, HotSetManager::kMaxHot),
+                        [this](Key key) { return env_.index->GetDirect(key); });
+  co_await ctx.Delay(2 * sim::kUsec + uint64_t{k} * 40);
+  // Epoch switch: wait until all workers observed the new epoch (they are
+  // never blocked; this only orders buffer reuse).
+  while (!hot_->AllWorkersAt(hot_->epoch()) && !stop_) {
+    co_await ctx.Delay(2 * sim::kUsec);
+  }
+}
+
+Task<void> MuTpsServer::Reconfigure(unsigned new_ncr) {
+  ExecCtx& ctx = mgr_ctx_;
+  new_ncr = std::max(1u, std::min(new_ncr, env_.num_workers - 1));
+  if (new_ncr == cfg_.ncr) {
+    co_return;
+  }
+  expected_acks_ = cfg_.ncr;
+  cr_acks_ = 0;
+  cfg_ = Config{new_ncr, rx_->fill_seq(), cfg_.version + 1};
+  reconfig_count_++;
+  // Wait for all workers to adopt the new configuration (request processing
+  // continues throughout).
+  while (!stop_) {
+    bool all = true;
+    for (const Worker& w : workers_) {
+      if (w.adopted_version != cfg_.version) {
+        all = false;
+        break;
+      }
+    }
+    if (all) {
+      break;
+    }
+    co_await ctx.Delay(5 * sim::kUsec);
+  }
+}
+
+Task<double> MuTpsServer::MeasureWindow() {
+  ExecCtx& ctx = mgr_ctx_;
+  const uint64_t base = OpsCompleted();
+  const Tick t0 = ctx.eng->now();
+  co_await ctx.Delay(opt_.tune_window_ns);
+  const uint64_t delta = OpsCompleted() - base;
+  const Tick dt = ctx.eng->now() - t0;
+  co_return dt == 0 ? 0.0 : static_cast<double>(delta) * 1000.0 /
+                                static_cast<double>(dt);
+}
+
+Task<unsigned> MuTpsServer::TrisectThreads(double* best_mops_out) {
+  ExecCtx& ctx = mgr_ctx_;
+  unsigned lo = 1;
+  unsigned hi = env_.num_workers - 1;
+  const auto measure_at = [&](unsigned ncr) -> Task<double> {
+    co_await Reconfigure(ncr);
+    co_await ctx.Delay(opt_.tune_window_ns / 2);  // settle
+    const double m = co_await MeasureWindow();
+    co_return m;
+  };
+  // Trisection over the (empirically convex) throughput-vs-split curve.
+  while (hi - lo > 2) {
+    const unsigned m1 = lo + (hi - lo) / 3;
+    const unsigned m2 = hi - (hi - lo) / 3;
+    const double p1 = co_await measure_at(m1);
+    const double p2 = co_await measure_at(m2);
+    if (p1 < p2) {
+      lo = m1 + 1;
+    } else {
+      hi = m2;
+    }
+  }
+  double best = -1.0;
+  unsigned best_ncr = lo;
+  for (unsigned c = lo; c <= hi; c++) {
+    const double p = co_await measure_at(c);
+    if (p > best) {
+      best = p;
+      best_ncr = c;
+    }
+  }
+  if (best_mops_out != nullptr) {
+    *best_mops_out = best;
+  }
+  co_return best_ncr;
+}
+
+Task<void> MuTpsServer::TuneLlcWays() {
+  ExecCtx& ctx = mgr_ctx_;
+  const unsigned total_ways = env_.mem->config().llc_ways;
+  const auto measure_ways = [&](unsigned ways) -> Task<double> {
+    const uint32_t mask = ((1u << ways) - 1) << (total_ways - ways);
+    env_.mem->SetClosMask(opt_.mr_clos, mask);
+    mr_ways_ = ways;
+    co_await ctx.Delay(opt_.tune_window_ns / 2);
+    const double m = co_await MeasureWindow();
+    co_return m;
+  };
+  unsigned lo = 1;
+  unsigned hi = total_ways;
+  while (hi - lo > 2) {
+    const unsigned m1 = lo + (hi - lo) / 3;
+    const unsigned m2 = hi - (hi - lo) / 3;
+    const double p1 = co_await measure_ways(m1);
+    const double p2 = co_await measure_ways(m2);
+    if (p1 < p2) {
+      lo = m1 + 1;
+    } else {
+      hi = m2;
+    }
+  }
+  double best = -1.0;
+  unsigned best_ways = hi;
+  for (unsigned c = lo; c <= hi; c++) {
+    const double p = co_await measure_ways(c);
+    if (p > best) {
+      best = p;
+      best_ways = c;
+    }
+  }
+  const uint32_t mask = ((1u << best_ways) - 1) << (total_ways - best_ways);
+  env_.mem->SetClosMask(opt_.mr_clos, mask);
+  mr_ways_ = best_ways;
+}
+
+Task<void> MuTpsServer::Autotune() {
+  double best = -1.0;
+  uint32_t best_k = cache_k_;
+  unsigned best_ncr = cfg_.ncr;
+  if (opt_.enable_cache) {
+    // Hierarchical search (§3.5): linear probe over cache sizes; for each,
+    // trisect the thread split.
+    for (uint32_t k : opt_.cache_sizes) {
+      co_await RefreshHotSet(k);
+      double m = 0.0;
+      const unsigned ncr = co_await TrisectThreads(&m);
+      if (m > best) {
+        best = m;
+        best_k = k;
+        best_ncr = ncr;
+      }
+    }
+    cache_k_ = best_k;
+    co_await RefreshHotSet(best_k);
+    co_await Reconfigure(best_ncr);
+  } else {
+    const unsigned ncr = co_await TrisectThreads(&best);
+    co_await Reconfigure(ncr);
+  }
+  if (opt_.tune_llc) {
+    co_await TuneLlcWays();
+  }
+  ewma_mops_ = co_await MeasureWindow();
+}
+
+
+void MuTpsServer::DebugDump() const {
+  std::fprintf(stderr, "cfg: ncr=%u switch=%llu ver=%llu acks=%llu/%llu fill=%llu\n",
+               cfg_.ncr, (unsigned long long)cfg_.switch_seq,
+               (unsigned long long)cfg_.version, (unsigned long long)cr_acks_,
+               (unsigned long long)expected_acks_,
+               (unsigned long long)rx_->fill_seq());
+  for (unsigned i = 0; i < env_.num_workers; i++) {
+    const Worker& w = workers_[i];
+    uint64_t staged = 0;
+    for (const auto& st : w.staging) {
+      staged += st.descs.size();
+    }
+    uint64_t ring_in = 0;
+    for (unsigned p = 0; p < env_.num_workers; p++) {
+      const CrMrRing& r = const_cast<MuTpsServer*>(this)->RingAt(p, i);
+      ring_in += r.head() - r.tail();
+    }
+    std::fprintf(stderr,
+                 "  w%-2u %s ver=%llu next_seq=%llu ncr_local=%u out=%llu "
+                 "staged=%llu inflight_rings=%llu ops=%llu\n",
+                 i, w.is_cr ? "CR" : "MR", (unsigned long long)w.adopted_version,
+                 (unsigned long long)w.next_seq, w.local_ncr,
+                 (unsigned long long)w.outstanding, (unsigned long long)staged,
+                 (unsigned long long)ring_in, (unsigned long long)w.ops);
+  }
+}
+
+}  // namespace utps

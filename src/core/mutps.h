@@ -1,0 +1,189 @@
+// μTPS: the paper's thread architecture. Worker cores are split into a
+// cache-resident (CR) layer and a memory-resident (MR) layer:
+//
+//  - CR workers (cores [0, ncr)) run the §3.2.3 FSM: poll the shared receive
+//    ring (reconfigurable RPC), parse, serve hot keys from the epoch-switched
+//    hot structure, forward cold requests through the CR-MR queue, and send
+//    responses (their own hits plus MR completions signalled by tail-pointer
+//    advancement).
+//  - MR workers (cores [ncr, W)) pop descriptor batches from the CR-MR rings
+//    and execute index + data stages under sim::RunBatch, overlapping memory
+//    stalls across the batch (batched indexing with coroutines, §3.3).
+//  - A manager fiber refreshes the hot set (count-min sketch + top-K + epoch
+//    switch), monitors throughput in fixed windows, and runs the §3.5
+//    auto-tuner: linear probe over cache sizes, trisection over the CR/MR
+//    thread split, trisection over the LLC ways reused by the MR layer, all
+//    without blocking request processing.
+//
+// Thread reassignment follows §3.5's predefined-slot protocol: the manager
+// publishes {ncr', switch_seq}; receive-ring slots with seq < switch_seq are
+// processed under the old split and slots >= switch_seq under the new one;
+// workers leaving the CR layer first drain their in-flight CR-MR batches, and
+// workers joining it wait until all old CR workers have switched and their
+// inbound rings are empty. No request is lost or processed twice.
+#ifndef UTPS_CORE_MUTPS_H_
+#define UTPS_CORE_MUTPS_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/crmr_queue.h"
+#include "core/op_exec.h"
+#include "core/server.h"
+#include "hotset/hotset.h"
+#include "net/resp_buf.h"
+#include "net/rpc.h"
+#include "sim/batch.h"
+#include "stats/timeseries.h"
+
+namespace utps {
+
+class MuTpsServer final : public KvServer {
+ public:
+  struct Options {
+    unsigned batch_size = 8;        // CR-MR batch size (and MR indexing batch)
+    unsigned initial_ncr = 0;       // 0 = num_workers / 3 heuristic
+    uint32_t initial_cache_items = 8192;
+    bool enable_cache = true;       // CR hot cache (ablation switch)
+    bool autotune = true;
+    bool tune_llc = true;
+    sim::Tick refresh_period_ns = 20 * sim::kMsec;
+    sim::Tick tune_window_ns = 1 * sim::kMsec;
+    sim::Tick flush_timeout_ns = 600;  // CR staging flush deadline
+    double retune_drift = 0.25;     // retune when throughput drifts this much
+    // Cache sizes probed by the hierarchical search (the paper linearly
+    // probes 1K steps; benchmarks may use a coarser grid for speed).
+    std::vector<uint32_t> cache_sizes = {0,    1000, 2000, 3000, 4000, 5000,
+                                         6000, 7000, 8000, 9000, 10000};
+    sim::ClosId cr_clos = 1;
+    sim::ClosId mr_clos = 2;
+    RxRing::Config rx;
+  };
+
+  MuTpsServer(const ServerEnv& env, const Options& opt);
+  ~MuTpsServer() override = default;
+
+  void Start() override;
+  void Stop() override { stop_ = true; }
+  unsigned NumRings() const override { return 1; }
+  uint64_t OpsCompleted() const override;
+  void ResetStats() override;
+  const char* Name() const override {
+    return env_.index_type == IndexType::kHash ? "uTPS-H" : "uTPS-T";
+  }
+
+  // Introspection for benchmarks (Figure 13).
+  unsigned ncr() const { return cfg_.ncr; }
+  unsigned nmr() const { return env_.num_workers - cfg_.ncr; }
+  uint32_t cache_items() const { return hot_->ActiveCount(); }
+  uint32_t target_cache_items() const { return cache_k_; }
+  unsigned mr_ways() const { return mr_ways_; }
+  uint64_t reconfig_count() const { return reconfig_count_; }
+  // True once the auto-tuner has completed its first search (always true when
+  // auto-tuning is disabled) — the harness gates measurement on this.
+  bool tuned() const { return tuned_once_ || !opt_.autotune; }
+
+  // Manual controls (used by ablation benches and tests when autotune = off).
+  void RequestThreadSplit(unsigned ncr) { pending_ncr_request_ = ncr; }
+  void SetCacheTarget(uint32_t k) { cache_k_ = k; }
+
+  // Diagnostic dump of worker / queue state (stderr).
+  void DebugDump() const;
+
+ private:
+  struct Config {
+    unsigned ncr = 1;
+    uint64_t switch_seq = 0;
+    uint64_t version = 0;
+  };
+
+  // Per-worker state.
+  struct Worker {
+    sim::ExecCtx ctx;
+    RespBuffer* resp = nullptr;
+    uint64_t ops = 0;
+    uint64_t adopted_version = 0;
+    bool is_cr = false;
+    // CR staging: per-target-MR pending descriptor batches.
+    struct Staging {
+      std::vector<CrMrDesc> descs;
+      std::vector<CrMrHostDesc> host;
+      sim::Tick first_ns = 0;
+    };
+    std::vector<Staging> staging;       // indexed by target worker id
+    std::vector<uint64_t> seen_tail;    // CR: completion cursor per target ring
+    std::vector<uint64_t> pop_cursor;   // MR: per producer ring read cursor
+    uint64_t next_seq = 0;              // CR: next receive-ring sequence
+    unsigned rr_next = 0;               // CR: round-robin MR target cursor
+    uint64_t outstanding = 0;           // CR: forwarded, not yet completed
+    unsigned local_ncr = 1;             // split under the adopted config
+  };
+
+  sim::Fiber WorkerMain(unsigned idx);
+  sim::Fiber ManagerMain();
+
+  // Role bodies; return when the worker must switch roles (or stop).
+  sim::Task<void> CrRun(unsigned idx);
+  sim::Task<void> MrRun(unsigned idx);
+
+  // CR helpers.
+  sim::Task<void> CrServeHot(unsigned idx, Item* item, const RxRecord& rec,
+                             uint64_t rx_seq, unsigned rec_idx);
+  sim::Task<bool> CrHandleRecord(unsigned idx, uint64_t rx_seq, unsigned rec_idx);
+  sim::Task<void> CrFlushStaging(unsigned idx, unsigned target);
+  sim::Task<void> CrPollCompletions(unsigned idx);
+  sim::Task<void> CrDrainOutstanding(unsigned idx);
+  void SendResponse(Worker& w, const CrMrHostDesc& hd);
+
+  // MR helpers.
+  sim::Task<void> MrProcessSlot(unsigned idx, unsigned producer, uint64_t seq);
+  sim::Task<void> MrProcessOne(unsigned idx, CrMrDesc d, CrMrHostDesc* hd);
+
+  // Manager / auto-tuner.
+  sim::Task<void> RefreshHotSet(uint32_t k);
+  sim::Task<void> Reconfigure(unsigned new_ncr);
+  sim::Task<double> MeasureWindow();
+  sim::Task<unsigned> TrisectThreads(double* best_mops_out);
+  sim::Task<void> TuneLlcWays();
+  sim::Task<void> Autotune();
+
+  // First sequence >= from with seq % n == residue.
+  static uint64_t AlignSeq(uint64_t from, unsigned n, unsigned residue) {
+    const uint64_t r = from % n;
+    uint64_t s = from - r + residue;
+    if (s < from) {
+      s += n;
+    }
+    return s;
+  }
+
+  CrMrRing& RingAt(unsigned producer, unsigned consumer) {
+    return rings_[size_t{producer} * env_.num_workers + consumer];
+  }
+
+  ServerEnv env_;
+  Options opt_;
+  std::unique_ptr<RxRing> rx_;
+  std::vector<CrMrRing> rings_;  // W x W, addressed by global worker ids
+  std::vector<Worker> workers_;
+  std::vector<std::unique_ptr<RespBuffer>> resp_bufs_;
+  std::unique_ptr<HotSetManager> hot_;
+  sim::ExecCtx mgr_ctx_;
+
+  Config cfg_;           // current (latest published) configuration
+  uint64_t cr_acks_ = 0;  // CR workers that passed the switch point
+  uint64_t expected_acks_ = 0;  // CR workers under the previous configuration
+  uint32_t cache_k_;
+  unsigned mr_ways_ = 0;
+  uint64_t reconfig_count_ = 0;
+  unsigned pending_ncr_request_ = 0;  // manual split request (0 = none)
+  bool stop_ = false;
+
+  // Throughput monitoring.
+  double ewma_mops_ = 0.0;
+  bool tuned_once_ = false;
+};
+
+}  // namespace utps
+
+#endif  // UTPS_CORE_MUTPS_H_

@@ -1,0 +1,61 @@
+// Common server-side environment and the interface every KVS server
+// implementation (μTPS, BaseKV, eRPCKV, passive baselines) exposes to the
+// experiment harness.
+#ifndef UTPS_CORE_SERVER_H_
+#define UTPS_CORE_SERVER_H_
+
+#include <cstdint>
+
+#include "index/index.h"
+#include "sim/arena.h"
+#include "sim/cache.h"
+#include "sim/engine.h"
+#include "sim/nic.h"
+#include "store/slab.h"
+
+namespace utps {
+
+// Shared plumbing owned by the experiment; servers borrow these.
+struct ServerEnv {
+  sim::Engine* eng = nullptr;
+  sim::MemoryModel* mem = nullptr;
+  sim::Nic* nic = nullptr;
+  sim::Arena* arena = nullptr;
+  SlabAllocator* slab = nullptr;
+  KvIndex* index = nullptr;  // shared index (share-everything servers)
+  IndexType index_type = IndexType::kHash;
+  unsigned num_workers = 28;
+
+  // Fixed per-request CPU costs (ns), identical across server systems.
+  sim::Tick parse_cpu_ns = 30;
+  sim::Tick respond_cpu_ns = 30;
+};
+
+class KvServer {
+ public:
+  virtual ~KvServer() = default;
+
+  // Spawns worker fibers on the engine. Called once.
+  virtual void Start() = 0;
+  // Requests cooperative shutdown (workers exit their loops).
+  virtual void Stop() = 0;
+
+  // How many NIC receive rings this server uses.
+  virtual unsigned NumRings() const = 0;
+  // Which ring a client should address for `key` (share-nothing servers route
+  // by key; single-ring servers return 0).
+  virtual unsigned RingForKey(Key key) const {
+    (void)key;
+    return 0;
+  }
+
+  // Ops completed (responses sent) since Start.
+  virtual uint64_t OpsCompleted() const = 0;
+  virtual void ResetStats() {}
+
+  virtual const char* Name() const = 0;
+};
+
+}  // namespace utps
+
+#endif  // UTPS_CORE_SERVER_H_

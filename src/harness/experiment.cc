@@ -1,0 +1,366 @@
+#include "harness/experiment.h"
+
+#include <algorithm>
+
+#include "index/btree.h"
+#include "index/cuckoo.h"
+#include "net/rpc.h"
+
+namespace utps {
+
+using sim::Engine;
+using sim::ExecCtx;
+using sim::Fiber;
+using sim::Nic;
+using sim::NicMessage;
+using sim::OneShot;
+using sim::Tick;
+
+namespace {
+
+// Shared state between the harness and the client fibers of one run.
+struct ClientShared {
+  Nic* nic = nullptr;
+  KvServer* server = nullptr;    // null for passive systems
+  PassiveKv* passive = nullptr;  // null for server systems
+  const WorkloadSpec* spec = nullptr;  // swapped for dynamic workloads
+  bool supports_scan = true;
+  bool measuring = false;
+  bool stop = false;
+  uint64_t ops = 0;
+  Histogram hist;
+  TimeSeries* timeline = nullptr;
+};
+
+Fiber ClientFiber(ExecCtx* ctx, ClientShared* sh, uint64_t id, uint64_t seed) {
+  WorkloadGenerator gen(*sh->spec, seed + id * 1000003);
+  const WorkloadSpec* cur = sh->spec;
+  OneShot done;
+  std::vector<uint8_t> scratch(1536, static_cast<uint8_t>(id + 1));
+  std::vector<uint8_t> out(16384);
+  while (!sh->stop) {
+    if (cur != sh->spec) {  // dynamic workload switch (Figure 14)
+      cur = sh->spec;
+      gen = WorkloadGenerator(*cur, seed + id * 1000003 + 17);
+    }
+    Op op = gen.Next();
+    if (op.type == OpType::kScan && !sh->supports_scan) {
+      op.type = OpType::kGet;
+    }
+    const Tick t0 = ctx->Now();
+    if (sh->passive != nullptr) {
+      switch (op.type) {
+        case OpType::kGet:
+          co_await sh->passive->ClientGet(*ctx, op.key, op.value_size, out.data());
+          break;
+        case OpType::kPut:
+          co_await sh->passive->ClientPut(*ctx, op.key, scratch.data(),
+                                          op.value_size);
+          break;
+        case OpType::kScan:
+          co_await sh->passive->ClientScan(*ctx, op.key,
+                                           op.key + op.scan_count - 1,
+                                           op.scan_count, out.data());
+          break;
+        default:
+          break;
+      }
+    } else {
+      NicMessage m;
+      if (op.type == OpType::kScan) {
+        m = EncodeRequest(OpType::kScan, op.key, op.value_size, op.scan_count,
+                          op.key + op.scan_count - 1);
+      } else {
+        m = EncodeRequest(op.type, op.key, op.value_size, 0, 0);
+      }
+      if (op.type == OpType::kPut) {
+        m.payload = scratch.data();
+        m.payload_len = op.value_size;
+      }
+      m.completion = &done;
+      sh->nic->ClientSend(*ctx, sh->server->RingForKey(op.key), m);
+      co_await done.Wait(*ctx);
+      done.Reset();
+    }
+    const Tick lat = ctx->Now() - t0;
+    if (sh->measuring) {
+      sh->ops++;
+      sh->hist.Record(lat);
+    }
+    if (sh->timeline != nullptr) {
+      sh->timeline->Add(ctx->Now(), 1);
+    }
+  }
+}
+
+}  // namespace
+
+TestBed::TestBed(IndexType index_type, const WorkloadSpec& populate_spec,
+                 unsigned server_workers, const sim::MachineConfig& machine,
+                 const sim::NicConfig& nic, uint64_t seed)
+    : index_type_(index_type),
+      populate_spec_(populate_spec),
+      server_workers_(server_workers),
+      machine_(machine),
+      nic_cfg_(nic),
+      seed_(seed) {
+  machine_.num_cores = std::max<unsigned>(machine_.num_cores, server_workers + 1);
+  // Size the arena: items + index + shards + passive structures + headroom.
+  const uint64_t n = populate_spec.num_keys;
+  uint64_t avg_item = 64;
+  for (int probe = 0; probe < 256; probe++) {
+    avg_item += Item::AllocSize(ValueSizeOfKey(populate_spec, probe * 1315423911u % n));
+  }
+  avg_item /= 256;
+  const size_t bytes = n * (avg_item + 32) * 2 + n * 160 + (1ull << 30);
+  arena_ = std::make_unique<sim::Arena>(bytes);
+  mem_ = std::make_unique<sim::MemoryModel>(machine_);
+  slab_ = std::make_unique<SlabAllocator>(arena_.get());
+  Populate();
+}
+
+TestBed::~TestBed() = default;
+
+void TestBed::Populate() {
+  const uint64_t n = populate_spec_.num_keys;
+  items_.resize(n);
+  for (Key k = 0; k < n; k++) {
+    const uint32_t len = ValueSizeOfKey(populate_spec_, k);
+    Item* it = slab_->AllocateItem(k, len);
+    // Deterministic value pattern for verification.
+    for (uint32_t b = 0; b < len; b++) {
+      it->value()[b] = static_cast<uint8_t>(k + b);
+    }
+    it->value_len = len;
+    items_[k] = it;
+  }
+  if (index_type_ == IndexType::kHash) {
+    auto idx = std::make_unique<CuckooIndex>(arena_.get(), n + n / 4, seed_);
+    for (Key k = 0; k < n; k++) {
+      UTPS_CHECK(idx->InsertDirect(k, items_[k]));
+    }
+    index_ = std::move(idx);
+  } else {
+    auto idx = std::make_unique<BTreeIndex>(arena_.get());
+    std::vector<std::pair<Key, Item*>> sorted;
+    sorted.reserve(n);
+    for (Key k = 0; k < n; k++) {
+      sorted.emplace_back(k, items_[k]);
+    }
+    idx->BulkLoadDirect(sorted);
+    index_ = std::move(idx);
+  }
+}
+
+void TestBed::BuildShards() {
+  if (!shards_.empty()) {
+    return;
+  }
+  const uint64_t n = populate_spec_.num_keys;
+  const unsigned w = server_workers_;
+  for (unsigned i = 0; i < w; i++) {
+    if (index_type_ == IndexType::kHash) {
+      shards_.push_back(
+          std::make_unique<CuckooIndex>(arena_.get(), n / w + n / w / 2 + 64,
+                                        seed_ + i + 1));
+    } else {
+      shards_.push_back(std::make_unique<BTreeIndex>(arena_.get()));
+    }
+  }
+  if (index_type_ == IndexType::kHash) {
+    for (Key k = 0; k < n; k++) {
+      UTPS_CHECK(
+          shards_[ErpcKvServer::ShardOf(k, w)]->InsertDirect(k, items_[k]));
+    }
+  } else {
+    std::vector<std::vector<std::pair<Key, Item*>>> per(w);
+    for (Key k = 0; k < n; k++) {
+      per[ErpcKvServer::ShardOf(k, w)].emplace_back(k, items_[k]);
+    }
+    for (unsigned i = 0; i < w; i++) {
+      static_cast<BTreeIndex*>(shards_[i].get())->BulkLoadDirect(per[i]);
+    }
+  }
+}
+
+void TestBed::BuildRaceHash() {
+  if (racehash_ != nullptr) {
+    return;
+  }
+  racehash_ = std::make_unique<RaceHashPassive>(arena_.get(),
+                                                populate_spec_.num_keys);
+  for (Key k = 0; k < populate_spec_.num_keys; k++) {
+    UTPS_CHECK(racehash_->InsertDirect(k, items_[k]));
+  }
+}
+
+void TestBed::BuildSherman() {
+  if (sherman_ != nullptr) {
+    return;
+  }
+  sherman_ = std::make_unique<ShermanPassive>(arena_.get());
+  std::vector<std::pair<Key, Item*>> sorted;
+  sorted.reserve(populate_spec_.num_keys);
+  for (Key k = 0; k < populate_spec_.num_keys; k++) {
+    sorted.emplace_back(k, items_[k]);
+  }
+  sherman_->BulkLoadDirect(sorted);
+}
+
+ExperimentResult TestBed::Run(const ExperimentConfig& cfg) {
+  UTPS_CHECK(cfg.workload.num_keys == populate_spec_.num_keys);
+  Engine eng;
+  // Per-run arena for server-side structures (rings, response buffers).
+  sim::Arena run_arena(512ull << 20);
+  mem_->FlushAll();
+  mem_->ResetCounters();
+  ResetItemContention();
+  const unsigned rings =
+      cfg.system == SystemKind::kErpcKv ? server_workers_ : 1;
+  Nic nic(&eng, mem_.get(), nic_cfg_, rings);
+
+  ServerEnv env;
+  env.eng = &eng;
+  env.mem = mem_.get();
+  env.nic = &nic;
+  env.arena = &run_arena;
+  env.slab = slab_.get();
+  env.index = index_.get();
+  env.index_type = index_type_;
+  env.num_workers = server_workers_;
+
+  std::unique_ptr<KvServer> server;
+  PassiveKv* passive = nullptr;
+  MuTpsServer* mutps = nullptr;
+  switch (cfg.system) {
+    case SystemKind::kMuTps: {
+      auto s = std::make_unique<MuTpsServer>(env, cfg.mutps);
+      mutps = s.get();
+      server = std::move(s);
+      break;
+    }
+    case SystemKind::kBaseKv: {
+      server = std::make_unique<BaseKvServer>(env, BaseKvServer::Options{});
+      break;
+    }
+    case SystemKind::kErpcKv: {
+      BuildShards();
+      std::vector<KvIndex*> shards;
+      for (auto& s : shards_) {
+        shards.push_back(s.get());
+      }
+      server = std::make_unique<ErpcKvServer>(env, ErpcKvServer::Options{},
+                                              std::move(shards));
+      break;
+    }
+    case SystemKind::kRaceHash: {
+      BuildRaceHash();
+      passive = racehash_.get();
+      break;
+    }
+    case SystemKind::kSherman: {
+      BuildSherman();
+      passive = sherman_.get();
+      break;
+    }
+  }
+  if (passive != nullptr) {
+    passive->SetNic(&nic);
+  }
+  if (server != nullptr) {
+    server->Start();
+  }
+
+  // Clients.
+  TimeSeries timeline(100 * sim::kUsec);
+  ClientShared sh;
+  sh.nic = &nic;
+  sh.server = server.get();
+  sh.passive = passive;
+  sh.spec = &cfg.workload;
+  sh.supports_scan = index_type_ == IndexType::kTree &&
+                     cfg.system != SystemKind::kRaceHash;
+  sh.timeline = cfg.record_timeline ? &timeline : nullptr;
+  const unsigned num_fibers = cfg.client_threads * cfg.pipeline_depth;
+  std::vector<ExecCtx> cli_ctxs(num_fibers);
+  for (unsigned i = 0; i < num_fibers; i++) {
+    cli_ctxs[i] = ExecCtx{.eng = &eng, .mem = nullptr, .core = 0};
+    eng.Spawn(ClientFiber(&cli_ctxs[i], &sh, i, cfg.seed));
+  }
+
+  // Warm up; for auto-tuned μTPS, wait until the first tuning pass finishes.
+  eng.Run(cfg.warmup_ns);
+  if (mutps != nullptr) {
+    while (!mutps->tuned() && eng.now() < cfg.max_warmup_ns) {
+      eng.Run(eng.now() + sim::kMsec);
+    }
+    eng.Run(eng.now() + sim::kMsec);  // settle after tuning
+  }
+
+  // Measure.
+  if (server != nullptr) {
+    server->ResetStats();
+  }
+  mem_->ResetCounters();
+  sh.measuring = true;
+  const Tick t0 = eng.now();
+  eng.Run(t0 + cfg.measure_ns);
+  // Dynamic-workload phase (Figure 14): switch the spec and keep running.
+  if (cfg.phase2 != nullptr) {
+    eng.Run(t0 + cfg.phase2_at_ns);
+    sh.spec = cfg.phase2;
+    eng.Run(t0 + cfg.phase2_at_ns + cfg.phase2_extra_ns);
+  }
+  sh.measuring = false;
+  const Tick t1 = eng.now();
+
+  ExperimentResult res;
+  res.ops = sh.ops;
+  res.mops = t1 == t0 ? 0.0
+                      : static_cast<double>(sh.ops) * 1000.0 /
+                            static_cast<double>(t1 - t0);
+  res.p50_ns = sh.hist.Percentile(0.5);
+  res.p99_ns = sh.hist.Percentile(0.99);
+  res.mean_ns = static_cast<Tick>(sh.hist.Mean());
+  // Stage-attributed cache stats over the server cores.
+  sim::StageCounters net{};
+  sim::StageCounters idx{};
+  sim::StageCounters all{};
+  for (unsigned c = 0; c < server_workers_; c++) {
+    const auto& cc = mem_->Counters(c);
+    net.Add(cc.by_stage[static_cast<unsigned>(sim::Stage::kPoll)]);
+    net.Add(cc.by_stage[static_cast<unsigned>(sim::Stage::kParse)]);
+    net.Add(cc.by_stage[static_cast<unsigned>(sim::Stage::kRespond)]);
+    net.Add(cc.by_stage[static_cast<unsigned>(sim::Stage::kCacheCheck)]);
+    idx.Add(cc.by_stage[static_cast<unsigned>(sim::Stage::kIndex)]);
+    idx.Add(cc.by_stage[static_cast<unsigned>(sim::Stage::kData)]);
+    all.Add(cc.Total());
+  }
+  res.poll_miss_rate = net.LlcMissRate();
+  res.index_miss_rate = idx.LlcMissRate();
+  res.llc_miss_rate = all.LlcMissRate();
+  if (mutps != nullptr) {
+    res.ncr = mutps->ncr();
+    res.nmr = mutps->nmr();
+    res.cache_items = mutps->cache_items();
+    res.mr_ways = mutps->mr_ways();
+    res.reconfigs = mutps->reconfig_count();
+  }
+  if (cfg.record_timeline) {
+    res.timeline_bucket_ns = timeline.bucket_ns();
+    for (size_t i = 0; i < timeline.NumBuckets(); i++) {
+      res.timeline_mops.push_back(timeline.RateAt(i) / 1e6);
+    }
+  }
+
+  // Drain and shut down.
+  sh.stop = true;
+  eng.Run(eng.now() + 500 * sim::kUsec);
+  if (server != nullptr) {
+    server->Stop();
+  }
+  eng.Run(eng.now() + 200 * sim::kUsec);
+  return res;
+}
+
+}  // namespace utps

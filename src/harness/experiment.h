@@ -1,0 +1,133 @@
+// Experiment harness: builds the simulated testbed (server machine, NIC,
+// client machines), populates the store, runs a workload point, and reports
+// paper-style metrics.
+//
+// A TestBed owns the populated database (items + indexes) and is reused
+// across many experiment points (systems x workload mixes) that share the
+// same index type and value sizing — exactly how the paper reuses its
+// pre-populated 10M-item database. Per-run structures (engine, NIC, server
+// rings, response buffers) live in a per-run arena that is discarded after
+// the point completes; cache-model state is flushed between points.
+#ifndef UTPS_HARNESS_EXPERIMENT_H_
+#define UTPS_HARNESS_EXPERIMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/basekv.h"
+#include "baseline/erpckv.h"
+#include "baseline/passive.h"
+#include "core/mutps.h"
+#include "core/server.h"
+#include "stats/histogram.h"
+#include "stats/timeseries.h"
+#include "workload/workload.h"
+
+namespace utps {
+
+enum class SystemKind : uint8_t {
+  kMuTps = 0,
+  kBaseKv,
+  kErpcKv,
+  kRaceHash,
+  kSherman,
+};
+
+inline const char* SystemName(SystemKind s) {
+  switch (s) {
+    case SystemKind::kMuTps:
+      return "uTPS";
+    case SystemKind::kBaseKv:
+      return "BaseKV";
+    case SystemKind::kErpcKv:
+      return "eRPCKV";
+    case SystemKind::kRaceHash:
+      return "RaceHash";
+    case SystemKind::kSherman:
+      return "Sherman";
+  }
+  return "?";
+}
+
+struct ExperimentConfig {
+  SystemKind system = SystemKind::kMuTps;
+  WorkloadSpec workload;
+  unsigned client_threads = 64;
+  unsigned pipeline_depth = 4;
+  sim::Tick warmup_ns = 4 * sim::kMsec;
+  sim::Tick measure_ns = 4 * sim::kMsec;
+  sim::Tick max_warmup_ns = 60 * sim::kMsec;  // cap while waiting for tuning
+  uint64_t seed = 42;
+  MuTpsServer::Options mutps;  // applies when system == kMuTps
+  // Fixed thread split / settings overrides for ablations.
+  bool record_timeline = false;           // per-100us throughput time series
+  const WorkloadSpec* phase2 = nullptr;   // workload switch mid-run (Fig 14)
+  sim::Tick phase2_at_ns = 0;
+  sim::Tick phase2_extra_ns = 0;          // extra measure time after switch
+};
+
+struct ExperimentResult {
+  double mops = 0.0;
+  uint64_t ops = 0;
+  sim::Tick p50_ns = 0;
+  sim::Tick p99_ns = 0;
+  sim::Tick mean_ns = 0;
+  // Cache behaviour (whole measurement window, server cores only).
+  double llc_miss_rate = 0.0;
+  double poll_miss_rate = 0.0;   // poll+parse+respond stages
+  double index_miss_rate = 0.0;  // index+data stages
+  // μTPS introspection.
+  unsigned ncr = 0;
+  unsigned nmr = 0;
+  uint32_t cache_items = 0;
+  unsigned mr_ways = 0;
+  uint64_t reconfigs = 0;
+  // Optional throughput timeline (bucketed ops completions).
+  std::vector<double> timeline_mops;
+  sim::Tick timeline_bucket_ns = 0;
+};
+
+class TestBed {
+ public:
+  // `populate_spec` fixes the key count and per-key value sizing.
+  TestBed(IndexType index_type, const WorkloadSpec& populate_spec,
+          unsigned server_workers = 28,
+          const sim::MachineConfig& machine = sim::MachineConfig{},
+          const sim::NicConfig& nic = sim::NicConfig{}, uint64_t seed = 1);
+  ~TestBed();
+
+  ExperimentResult Run(const ExperimentConfig& cfg);
+
+  IndexType index_type() const { return index_type_; }
+  unsigned server_workers() const { return server_workers_; }
+  KvIndex* index() { return index_.get(); }
+  sim::MemoryModel* mem() { return mem_.get(); }
+  const WorkloadSpec& populate_spec() const { return populate_spec_; }
+
+ private:
+  void Populate();
+  void BuildShards();
+  void BuildRaceHash();
+  void BuildSherman();
+
+  IndexType index_type_;
+  WorkloadSpec populate_spec_;
+  unsigned server_workers_;
+  sim::MachineConfig machine_;
+  sim::NicConfig nic_cfg_;
+  uint64_t seed_;
+
+  std::unique_ptr<sim::Arena> arena_;
+  std::unique_ptr<sim::MemoryModel> mem_;
+  std::unique_ptr<SlabAllocator> slab_;
+  std::unique_ptr<KvIndex> index_;
+  std::vector<Item*> items_;  // by key
+  std::vector<std::unique_ptr<KvIndex>> shards_;
+  std::unique_ptr<RaceHashPassive> racehash_;
+  std::unique_ptr<ShermanPassive> sherman_;
+};
+
+}  // namespace utps
+
+#endif  // UTPS_HARNESS_EXPERIMENT_H_

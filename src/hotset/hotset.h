@@ -1,0 +1,278 @@
+// Hot-set tracking and the CR layer's epoch-switched hot structures
+// (§3.2.2 "Resizable Cache").
+//
+//  - CR workers sample ~1/32 of the keys they serve into per-worker rings
+//    (cheap, wait-free: single producer, single consumer).
+//  - The management thread periodically drains samples through a count-min
+//    sketch + top-K heap and builds a fresh hot structure (sorted array for
+//    the tree index — no pointers, binary-searchable; a membership filter for
+//    the hash index, which reuses the main table as storage).
+//  - Publication is epoch-based: the manager publishes the new structure and
+//    epoch; workers adopt it at their next loop iteration; the manager reuses
+//    the retired buffer only after all workers have advanced (Nap-style
+//    non-blocking switch).
+#ifndef UTPS_HOTSET_HOTSET_H_
+#define UTPS_HOTSET_HOTSET_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/macros.h"
+#include "hotset/sketch.h"
+#include "hotset/topk.h"
+#include "sim/arena.h"
+#include "sim/exec.h"
+#include "store/item.h"
+#include "store/kv.h"
+
+namespace utps {
+
+// Wait-free SPSC ring of sampled keys (producer: one CR worker; consumer:
+// the manager). Overwrites oldest samples when full — sampling is lossy by
+// design.
+class SampleRing {
+ public:
+  static constexpr uint32_t kCapacity = 4096;
+
+  void Push(Key key) {
+    buf_[head_ & (kCapacity - 1)] = key;
+    head_++;
+  }
+
+  // Drains up to `max` recent samples into `out`; returns count.
+  uint32_t Drain(Key* out, uint32_t max) {
+    uint64_t h = head_;
+    const uint64_t available = h - tail_ > kCapacity ? kCapacity : h - tail_;
+    const uint64_t n = available < max ? available : max;
+    for (uint64_t i = 0; i < n; i++) {
+      out[i] = buf_[(h - n + i) & (kCapacity - 1)];
+    }
+    tail_ = h;
+    return static_cast<uint32_t>(n);
+  }
+
+ private:
+  Key buf_[kCapacity] = {};
+  uint64_t head_ = 0;
+  uint64_t tail_ = 0;
+};
+
+// Sorted-array hot index for the tree-based KVS: eliminates intermediate
+// pointers; rebuilt wholesale on each refresh (no in-place inserts).
+struct HotArray {
+  struct Entry {
+    Key key;
+    Item* item;
+  };
+  Entry* entries = nullptr;
+  uint32_t count = 0;
+  uint32_t capacity = 0;
+
+  // Host-side lookup (used by tests).
+  Item* FindDirect(Key key) const {
+    uint32_t lo = 0;
+    uint32_t hi = count;
+    while (lo < hi) {
+      const uint32_t mid = (lo + hi) / 2;
+      if (entries[mid].key < key) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return (lo < count && entries[lo].key == key) ? entries[lo].item : nullptr;
+  }
+};
+
+// Simulated binary search over a HotArray: charges the probed cachelines.
+inline sim::Task<Item*> HotArrayLookup(sim::ExecCtx& ctx, const HotArray* ha,
+                                       Key key) {
+  uint32_t lo = 0;
+  uint32_t hi = ha->count;
+  while (lo < hi) {
+    const uint32_t mid = (lo + hi) / 2;
+    co_await ctx.Read(&ha->entries[mid], sizeof(HotArray::Entry));
+    if (ha->entries[mid].key < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo < ha->count) {
+    co_await ctx.Read(&ha->entries[lo], sizeof(HotArray::Entry));
+    if (ha->entries[lo].key == key) {
+      co_return ha->entries[lo].item;
+    }
+  }
+  co_return nullptr;
+}
+
+// Open-addressing membership filter for the hash-based KVS: answers "is this
+// key hot" so the CR layer can serve it from the main cuckoo table (whose hot
+// buckets stay cache-resident under the CR layer's dedicated ways).
+struct HotFilter {
+  Key* slots = nullptr;  // key+1; 0 = empty
+  uint32_t mask = 0;
+  uint32_t count = 0;
+
+  bool ContainsDirect(Key key) const {
+    uint32_t i = static_cast<uint32_t>(Mix64(key)) & mask;
+    for (uint32_t probes = 0; probes <= mask; probes++) {
+      const Key s = slots[i];
+      if (s == 0) {
+        return false;
+      }
+      if (s == key + 1) {
+        return true;
+      }
+      i = (i + 1) & mask;
+    }
+    return false;
+  }
+};
+
+inline sim::Task<bool> HotFilterContains(sim::ExecCtx& ctx, const HotFilter* hf,
+                                         Key key) {
+  uint32_t i = static_cast<uint32_t>(Mix64(key)) & hf->mask;
+  for (uint32_t probes = 0; probes <= hf->mask; probes++) {
+    co_await ctx.Read(&hf->slots[i], sizeof(Key));
+    const Key s = hf->slots[i];
+    if (s == 0) {
+      co_return false;
+    }
+    if (s == key + 1) {
+      co_return true;
+    }
+    i = (i + 1) & hf->mask;
+  }
+  co_return false;
+}
+
+// Double-buffered, epoch-published hot set. The manager builds into the
+// inactive buffer and publishes; CR workers re-read {epoch, pointers} at
+// each FSM loop iteration.
+class HotSetManager {
+ public:
+  static constexpr uint32_t kMaxHot = 16384;  // >= paper's 10K hot items
+
+  HotSetManager(sim::Arena* arena, unsigned num_workers)
+      : num_workers_(num_workers), rings_(num_workers), sketch_(1u << 15, 4) {
+    for (int b = 0; b < 2; b++) {
+      arrays_[b].entries =
+          arena->AllocateArray<HotArray::Entry>(kMaxHot, kCachelineBytes);
+      arrays_[b].capacity = kMaxHot;
+      const uint32_t fcap = 4 * kMaxHot;  // load factor <= 0.25
+      filters_[b].slots = arena->AllocateArray<Key>(fcap, kCachelineBytes);
+      filters_[b].mask = fcap - 1;
+    }
+    worker_epochs_.assign(num_workers, 0);
+  }
+
+  // ---------------------------------------------------------- worker side
+  SampleRing& Ring(unsigned worker) { return rings_[worker]; }
+
+  uint64_t epoch() const { return epoch_; }
+  const HotArray* ActiveArray() const { return &arrays_[epoch_ & 1]; }
+  const HotFilter* ActiveFilter() const { return &filters_[epoch_ & 1]; }
+  void AckEpoch(unsigned worker, uint64_t e) { worker_epochs_[worker] = e; }
+
+  // --------------------------------------------------------- manager side
+  bool AllWorkersAt(uint64_t e) const {
+    for (unsigned w = 0; w < num_workers_; w++) {
+      if (worker_epochs_[w] < e) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // Drains worker samples into the sketch and refreshes the top-K candidates.
+  // Returns the number of samples consumed.
+  uint32_t DrainSamples() {
+    Key buf[SampleRing::kCapacity];
+    uint32_t total = 0;
+    for (auto& ring : rings_) {
+      const uint32_t n = ring.Drain(buf, SampleRing::kCapacity);
+      for (uint32_t i = 0; i < n; i++) {
+        sketch_.Add(buf[i]);
+        candidates_.push_back(buf[i]);
+      }
+      total += n;
+    }
+    return total;
+  }
+
+  // Builds the next hot structure with the `k` hottest keys (k <= kMaxHot),
+  // resolving keys to items via `resolve`, and publishes a new epoch.
+  // Items that no longer resolve are skipped.
+  template <typename Resolver>
+  void BuildAndPublish(uint32_t k, Resolver&& resolve) {
+    UTPS_CHECK(k <= kMaxHot);
+    TopK topk(k == 0 ? 1 : k);
+    for (Key c : candidates_) {
+      topk.Offer(c, sketch_.Estimate(c));
+    }
+    std::vector<Key> hot = topk.Extract();
+    if (k == 0) {
+      hot.clear();
+    }
+    const int next = static_cast<int>((epoch_ + 1) & 1);
+    HotArray& ha = arrays_[next];
+    HotFilter& hf = filters_[next];
+    // Reset the inactive buffers (safe: all workers are on `epoch_`).
+    std::memset(hf.slots, 0, (size_t{hf.mask} + 1) * sizeof(Key));
+    hf.count = 0;
+    ha.count = 0;
+    std::vector<HotArray::Entry> entries;
+    entries.reserve(hot.size());
+    for (Key key : hot) {
+      Item* it = resolve(key);
+      if (it == nullptr) {
+        continue;
+      }
+      entries.push_back({key, it});
+      uint32_t i = static_cast<uint32_t>(Mix64(key)) & hf.mask;
+      while (hf.slots[i] != 0) {
+        i = (i + 1) & hf.mask;
+      }
+      hf.slots[i] = key + 1;
+      hf.count++;
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const HotArray::Entry& a, const HotArray::Entry& b) {
+                return a.key < b.key;
+              });
+    for (size_t i = 0; i < entries.size(); i++) {
+      ha.entries[i] = entries[i];
+    }
+    ha.count = static_cast<uint32_t>(entries.size());
+    epoch_++;
+  }
+
+  // Ages the sketch between refresh periods so the hot set tracks shifts.
+  // Candidates persist across BuildAndPublish calls (the auto-tuner rebuilds
+  // the hot set at several sizes from one sample population) and are retired
+  // here, at the start of each new sampling period.
+  void DecaySketch() {
+    sketch_.Clear();
+    candidates_.clear();
+  }
+
+  uint32_t ActiveCount() const { return arrays_[epoch_ & 1].count; }
+
+ private:
+  unsigned num_workers_;
+  std::vector<SampleRing> rings_;
+  CountMinSketch sketch_;
+  std::vector<Key> candidates_;
+  HotArray arrays_[2];
+  HotFilter filters_[2];
+  uint64_t epoch_ = 0;
+  std::vector<uint64_t> worker_epochs_;
+};
+
+}  // namespace utps
+
+#endif  // UTPS_HOTSET_HOTSET_H_

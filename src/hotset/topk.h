@@ -1,0 +1,114 @@
+// Top-K hottest-key tracking: a min-heap over sketch-estimated frequencies
+// with a membership map to avoid duplicate entries.
+#ifndef UTPS_HOTSET_TOPK_H_
+#define UTPS_HOTSET_TOPK_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "hotset/sketch.h"
+#include "store/kv.h"
+
+namespace utps {
+
+class TopK {
+ public:
+  explicit TopK(uint32_t k) : k_(k) {}
+
+  // Offers a key with its estimated frequency. Keeps the K highest.
+  void Offer(Key key, uint32_t freq) {
+    auto it = pos_.find(key);
+    if (it != pos_.end()) {
+      heap_[it->second].freq = freq;
+      SiftDown(SiftUp(it->second));
+      return;
+    }
+    if (heap_.size() < k_) {
+      heap_.push_back({key, freq});
+      pos_[key] = heap_.size() - 1;
+      SiftUp(heap_.size() - 1);
+      return;
+    }
+    if (freq <= heap_[0].freq) {
+      return;
+    }
+    pos_.erase(heap_[0].key);
+    heap_[0] = {key, freq};
+    pos_[key] = 0;
+    SiftDown(0);
+  }
+
+  uint32_t MinFreq() const { return heap_.empty() ? 0 : heap_[0].freq; }
+  size_t Size() const { return heap_.size(); }
+
+  // Keys ordered by descending frequency.
+  std::vector<Key> Extract() const {
+    std::vector<Entry> copy = heap_;
+    std::sort(copy.begin(), copy.end(),
+              [](const Entry& a, const Entry& b) { return a.freq > b.freq; });
+    std::vector<Key> out;
+    out.reserve(copy.size());
+    for (const Entry& e : copy) {
+      out.push_back(e.key);
+    }
+    return out;
+  }
+
+  void Clear() {
+    heap_.clear();
+    pos_.clear();
+  }
+
+ private:
+  struct Entry {
+    Key key;
+    uint32_t freq;
+  };
+
+  size_t SiftUp(size_t i) {
+    while (i > 0) {
+      const size_t p = (i - 1) / 2;
+      if (heap_[p].freq <= heap_[i].freq) {
+        break;
+      }
+      SwapAt(p, i);
+      i = p;
+    }
+    return i;
+  }
+
+  void SiftDown(size_t i) {
+    for (;;) {
+      const size_t l = 2 * i + 1;
+      const size_t r = 2 * i + 2;
+      size_t m = i;
+      if (l < heap_.size() && heap_[l].freq < heap_[m].freq) {
+        m = l;
+      }
+      if (r < heap_.size() && heap_[r].freq < heap_[m].freq) {
+        m = r;
+      }
+      if (m == i) {
+        return;
+      }
+      SwapAt(m, i);
+      i = m;
+    }
+  }
+
+  void SwapAt(size_t a, size_t b) {
+    std::swap(heap_[a], heap_[b]);
+    pos_[heap_[a].key] = a;
+    pos_[heap_[b].key] = b;
+  }
+
+  uint32_t k_;
+  std::vector<Entry> heap_;  // min-heap by freq
+  std::unordered_map<Key, size_t> pos_;
+};
+
+}  // namespace utps
+
+#endif  // UTPS_HOTSET_TOPK_H_

@@ -1,0 +1,98 @@
+// Concurrent cuckoo hash table (libcuckoo-flavoured): 2 candidate buckets per
+// key, 4 slots per bucket, optimistic bucket-version reads, striped spinlocks
+// for mutations, bounded random-walk eviction for inserts.
+//
+// Bucket layout keeps {version, keys[4]} within the first cacheline so a
+// negative probe costs one line and a positive probe costs two.
+#ifndef UTPS_INDEX_CUCKOO_H_
+#define UTPS_INDEX_CUCKOO_H_
+
+#include <cstdint>
+
+#include "common/macros.h"
+#include "common/rng.h"
+#include "index/index.h"
+#include "sim/arena.h"
+#include "sim/sync.h"
+
+namespace utps {
+
+class CuckooIndex final : public KvIndex {
+ public:
+  // `capacity_items` is the expected maximum item count; the table is sized
+  // so that its load factor stays below ~0.65 and never needs resizing.
+  CuckooIndex(sim::Arena* arena, uint64_t capacity_items, uint64_t seed = 1);
+
+  Item* GetDirect(Key key) const override;
+  bool InsertDirect(Key key, Item* item) override;
+  bool EraseDirect(Key key) override;
+  uint64_t SizeDirect() const override { return size_; }
+
+  sim::Task<Item*> CoGet(sim::ExecCtx& ctx, Key key) override;
+  sim::Task<bool> CoInsert(sim::ExecCtx& ctx, Key key, Item* item) override;
+  sim::Task<bool> CoErase(sim::ExecCtx& ctx, Key key) override;
+
+  uint64_t num_buckets() const { return nbuckets_; }
+
+ private:
+  static constexpr unsigned kSlots = 4;
+  static constexpr unsigned kNumStripes = 4096;
+  static constexpr unsigned kMaxKicks = 256;
+
+  struct Bucket {
+    uint64_t version = 0;  // seqlock over membership; odd = mutating
+    Key keys[kSlots] = {};
+    Item* items[kSlots] = {};
+    uint64_t pad[7] = {};  // align to 2 cachelines
+  };
+  static_assert(sizeof(Bucket) == 2 * kCachelineBytes, "bucket layout");
+
+  uint64_t Hash(Key key) const { return Mix64(key + hash_seed_); }
+  uint64_t Index1(uint64_t h) const { return h & mask_; }
+  // Alternate index is an involution: alt(alt(i)) == i.
+  uint64_t Index2(uint64_t i1, uint64_t h) const {
+    const uint64_t fp = (h >> 48) | 1;  // non-zero fingerprint
+    return (i1 ^ Mix64(fp)) & mask_;
+  }
+
+  sim::SimSpinlock& StripeLock(uint64_t bucket) {
+    return stripes_[bucket & (kNumStripes - 1)];
+  }
+
+  // Finds key in bucket; returns slot index or -1 (host-side scan).
+  int FindSlot(const Bucket& b, Key key) const {
+    for (unsigned s = 0; s < kSlots; s++) {
+      if (b.items[s] != nullptr && b.keys[s] == key) {
+        return static_cast<int>(s);
+      }
+    }
+    return -1;
+  }
+
+  int FreeSlot(const Bucket& b) const {
+    for (unsigned s = 0; s < kSlots; s++) {
+      if (b.items[s] == nullptr) {
+        return static_cast<int>(s);
+      }
+    }
+    return -1;
+  }
+
+  // Locks two bucket stripes in address order (handles same-stripe case).
+  sim::Task<void> LockPair(sim::ExecCtx& ctx, uint64_t b1, uint64_t b2);
+  void UnlockPair(sim::ExecCtx& ctx, uint64_t b1, uint64_t b2);
+
+  bool InsertDirectInternal(Key key, Item* item, unsigned depth);
+
+  Bucket* buckets_ = nullptr;
+  uint64_t nbuckets_ = 0;
+  uint64_t mask_ = 0;
+  uint64_t hash_seed_;
+  uint64_t size_ = 0;
+  Rng rng_;
+  sim::SimSpinlock stripes_[kNumStripes];
+};
+
+}  // namespace utps
+
+#endif  // UTPS_INDEX_CUCKOO_H_

@@ -1,0 +1,40 @@
+// Per-worker response buffer: a small (64 KB by default, per §3.2.1) cyclic
+// arena region that response payloads are staged in before the NIC reads them
+// out. Reuse across batches keeps the footprint cache-sized.
+#ifndef UTPS_NET_RESP_BUF_H_
+#define UTPS_NET_RESP_BUF_H_
+
+#include <cstdint>
+
+#include "common/macros.h"
+#include "sim/arena.h"
+
+namespace utps {
+
+class RespBuffer {
+ public:
+  RespBuffer(sim::Arena* arena, uint32_t bytes = 64 * 1024)
+      : base_(arena->AllocateArray<uint8_t>(bytes, kCachelineBytes)), size_(bytes) {}
+
+  // Allocates a cacheline-aligned region; wraps around cyclically (the buffer
+  // is sized so a region is not reused while its send can still be pending).
+  uint8_t* Alloc(uint32_t len) {
+    const uint32_t rounded = (len + kCachelineBytes - 1) & ~(kCachelineBytes - 1);
+    UTPS_DCHECK(rounded <= size_);
+    if (cursor_ + rounded > size_) {
+      cursor_ = 0;
+    }
+    uint8_t* p = base_ + cursor_;
+    cursor_ += rounded;
+    return p;
+  }
+
+ private:
+  uint8_t* base_;
+  uint32_t size_;
+  uint32_t cursor_ = 0;
+};
+
+}  // namespace utps
+
+#endif  // UTPS_NET_RESP_BUF_H_

@@ -1,0 +1,237 @@
+// Server-side RPC receive machinery.
+//
+// ReconfigurableRpc (§3.2.1): ONE receive ring shared by all worker threads.
+// The NIC appends arriving requests into the current MP-RQ slot (multiple
+// requests per slot) in address order; the i-th worker claims slots whose
+// sequence number satisfies seq mod n == i. Changing the worker count n is a
+// server-local operation (workers switch at a predefined slot sequence), with
+// no client coordination — the property the auto-tuner's thread reassignment
+// relies on.
+//
+// The same RxRing is reused with one ring per worker to model an eRPC-style
+// RPC (clients address a specific worker), used by the eRPCKV baseline.
+//
+// Modeled memory: slot headers and request records live in the arena and are
+// DMA-written via the cache model's DDIO path; host-only bookkeeping (client
+// completion handles) lives in parallel unmodeled arrays.
+#ifndef UTPS_NET_RPC_H_
+#define UTPS_NET_RPC_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/macros.h"
+#include "sim/arena.h"
+#include "sim/nic.h"
+#include "store/kv.h"
+
+namespace utps {
+
+// On-wire request header (modeled bytes inside a receive slot).
+struct RxRecord {
+  Key key;
+  uint32_t op_len;       // OpType (4 bits) | value_len (28 bits)
+  uint32_t scan_count;   // scans: number of items requested
+  uint64_t scan_upper;   // scans: upper bound of the key range
+  uint32_t payload_off;  // offset of put payload within the slot data area
+  uint32_t pad;
+
+  OpType op() const { return static_cast<OpType>(op_len >> 28); }
+  uint32_t value_len() const { return op_len & 0x0fffffffu; }
+  static uint32_t PackOpLen(OpType op, uint32_t len) {
+    UTPS_DCHECK(len < (1u << 28));
+    return (static_cast<uint32_t>(op) << 28) | len;
+  }
+};
+static_assert(sizeof(RxRecord) == 32, "wire record layout");
+
+// Header word encoding for NicMessage.h[]:
+//   h[0] = key, h[1] = op_len, h[2] = scan_count, h[3] = scan_upper.
+inline sim::NicMessage EncodeRequest(OpType op, Key key, uint32_t value_len,
+                                     uint32_t scan_count, uint64_t scan_upper) {
+  sim::NicMessage m;
+  m.h[0] = key;
+  m.h[1] = RxRecord::PackOpLen(op, value_len);
+  m.h[2] = scan_count;
+  m.h[3] = scan_upper;
+  return m;
+}
+
+enum class SlotState : uint32_t {
+  kFree = 0,
+  kFilling = 1,
+  kClosed = 2,
+  kClaimed = 3,
+};
+
+class RxRing {
+ public:
+  struct Config {
+    unsigned num_slots = 512;       // physical slots in the ring
+    unsigned max_batch = 8;         // requests per MP-RQ slot
+    unsigned slot_data_bytes = 12288;  // payload area per slot
+    sim::Tick close_timeout_ns = 1000;  // close a non-empty slot after this
+  };
+
+  // One modeled cacheline per slot header.
+  struct SlotHeader {
+    SlotState state = SlotState::kFree;
+    uint32_t nreq = 0;
+    uint32_t data_bytes = 0;
+    uint32_t outstanding = 0;
+    sim::Tick first_fill = 0;
+    uint64_t pad[5] = {};
+  };
+  static_assert(sizeof(SlotHeader) == kCachelineBytes, "slot header layout");
+
+  RxRing(sim::Arena* arena, const Config& cfg) : cfg_(cfg) {
+    headers_ = arena->AllocateArray<SlotHeader>(cfg.num_slots, kCachelineBytes);
+    records_ = arena->AllocateArray<RxRecord>(size_t{cfg.num_slots} * cfg.max_batch,
+                                              kCachelineBytes);
+    data_ = arena->AllocateArray<uint8_t>(size_t{cfg.num_slots} * cfg.slot_data_bytes,
+                                          kCachelineBytes);
+    for (unsigned i = 0; i < cfg.num_slots; i++) {
+      new (&headers_[i]) SlotHeader();
+    }
+    msgs_.resize(size_t{cfg.num_slots} * cfg.max_batch);
+  }
+
+  const Config& config() const { return cfg_; }
+
+  SlotHeader* Header(uint64_t seq) { return &headers_[seq % cfg_.num_slots]; }
+  RxRecord* Records(uint64_t seq) {
+    return &records_[(seq % cfg_.num_slots) * cfg_.max_batch];
+  }
+  uint8_t* Data(uint64_t seq) {
+    return &data_[(seq % cfg_.num_slots) * size_t{cfg_.slot_data_bytes}];
+  }
+  sim::NicMessage* Msgs(uint64_t seq) {
+    return &msgs_[(seq % cfg_.num_slots) * cfg_.max_batch];
+  }
+
+  // NIC-side: materialize messages that have arrived by `now` from NIC ring
+  // `ring_id` into receive slots. Charges DDIO writes on the cache model.
+  // Returns false if it stalled on backpressure (ring full); the stalled
+  // message is stashed and retried first on the next Advance (models the NIC
+  // holding the packet until a recv WQE is reposted).
+  bool Advance(sim::Nic& nic, unsigned ring_id, sim::Tick now) {
+    if (has_stash_) {
+      if (!TryPlace(nic, stash_)) {
+        return false;
+      }
+      has_stash_ = false;
+    }
+    sim::NicMessage msg;
+    while (nic.PopArrived(ring_id, now, &msg)) {
+      if (!TryPlace(nic, msg)) {
+        stash_ = msg;
+        has_stash_ = true;
+        return false;
+      }
+    }
+    // Close the filling slot on timeout so low load doesn't strand requests.
+    SlotHeader* cur = Header(fill_seq_);
+    if (cur->state == SlotState::kFilling && cur->nreq > 0 &&
+        now - cur->first_fill >= cfg_.close_timeout_ns) {
+      cur->state = SlotState::kClosed;
+      fill_seq_++;
+    }
+    return true;
+  }
+
+  // Worker-side: is the slot at `seq` ready to claim?
+  bool IsClosed(uint64_t seq) const {
+    if (seq >= fill_seq_) {
+      return false;
+    }
+    return headers_[seq % cfg_.num_slots].state == SlotState::kClosed;
+  }
+
+  void Claim(uint64_t seq) {
+    SlotHeader* h = Header(seq);
+    UTPS_DCHECK(h->state == SlotState::kClosed);
+    h->state = SlotState::kClaimed;
+    h->outstanding = h->nreq;
+  }
+
+  // Marks one request of the slot completed; frees the slot when all are.
+  void CompleteOne(uint64_t seq) {
+    SlotHeader* h = Header(seq);
+    UTPS_DCHECK(h->state == SlotState::kClaimed);
+    UTPS_DCHECK(h->outstanding > 0);
+    if (--h->outstanding == 0) {
+      h->state = SlotState::kFree;  // management thread reposts the recv
+    }
+  }
+
+  uint64_t fill_seq() const { return fill_seq_; }
+
+  bool HasStash() const { return has_stash_; }
+
+ private:
+  // Places one message into the current fill slot, opening/closing slots as
+  // needed. Returns false only when the target physical slot has not been
+  // recycled yet (backpressure).
+  bool TryPlace(sim::Nic& nic, const sim::NicMessage& msg) {
+    for (;;) {
+      SlotHeader* h = Header(fill_seq_);
+      if (h->state == SlotState::kClosed || h->state == SlotState::kClaimed) {
+        return false;  // physical slot still owned by a worker
+      }
+      if (h->state == SlotState::kFree) {
+        h->state = SlotState::kFilling;
+        h->nreq = 0;
+        h->data_bytes = 0;
+        h->outstanding = 0;
+        h->first_fill = msg.arrival_tick;
+      }
+      const uint32_t payload_len =
+          static_cast<OpType>(msg.h[1] >> 28) == OpType::kPut
+              ? static_cast<uint32_t>(msg.h[1] & 0x0fffffffu)
+              : 0;
+      if (h->data_bytes + payload_len > cfg_.slot_data_bytes) {
+        h->state = SlotState::kClosed;  // no room: close and use the next slot
+        fill_seq_++;
+        continue;
+      }
+      RxRecord* rec = &Records(fill_seq_)[h->nreq];
+      rec->key = msg.h[0];
+      rec->op_len = static_cast<uint32_t>(msg.h[1]);
+      rec->scan_count = static_cast<uint32_t>(msg.h[2]);
+      rec->scan_upper = msg.h[3];
+      rec->payload_off = h->data_bytes;
+      Msgs(fill_seq_)[h->nreq] = msg;
+      if (nic.mem() != nullptr) {
+        nic.mem()->IoWrite(rec, sizeof(RxRecord));
+      }
+      if (payload_len > 0 && msg.payload != nullptr) {
+        uint8_t* dst = Data(fill_seq_) + h->data_bytes;
+        std::memcpy(dst, msg.payload, payload_len);
+        if (nic.mem() != nullptr) {
+          nic.mem()->IoWrite(dst, payload_len);
+        }
+        h->data_bytes += (payload_len + 7u) & ~7u;
+      }
+      h->nreq++;
+      if (h->nreq == cfg_.max_batch) {
+        h->state = SlotState::kClosed;
+        fill_seq_++;
+      }
+      return true;
+    }
+  }
+
+  Config cfg_;
+  SlotHeader* headers_;
+  RxRecord* records_;
+  uint8_t* data_;
+  std::vector<sim::NicMessage> msgs_;  // host-only bookkeeping
+  uint64_t fill_seq_ = 0;
+  sim::NicMessage stash_{};
+  bool has_stash_ = false;
+};
+
+}  // namespace utps
+
+#endif  // UTPS_NET_RPC_H_

@@ -1,0 +1,500 @@
+// Cache hierarchy model: per-core private caches (combined L1/L2) above a
+// shared, inclusive, set-associative LLC with
+//   - per-CLOS way masks (Intel CAT semantics: hits may be served from any
+//     way; allocation victims are chosen only among the CLOS's ways), and
+//   - DDIO semantics for NIC writes (update-in-place on LLC hit anywhere;
+//     allocation only in the two rightmost ways on miss) — the behaviour the
+//     paper's §2.2.1 analysis hinges on.
+//
+// Coherence is MESI-lite: the LLC entry tracks a sharer bitmap and an
+// exclusive owner; writes invalidate other private copies and charge a
+// coherence transfer.
+//
+// Addresses are host addresses (the simulated software operates on real data
+// structures); allocate modeled data from sim::Arena for deterministic set
+// mapping.
+#ifndef UTPS_SIM_CACHE_H_
+#define UTPS_SIM_CACHE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/macros.h"
+#include "sim/types.h"
+
+namespace utps::sim {
+
+struct MachineConfig {
+  unsigned num_cores = 28;
+
+  // Private cache (models combined L1+L2 per core): 2048 sets x 10 ways x 64B
+  // = 1.25 MB-class.
+  unsigned priv_sets_log2 = 11;
+  unsigned priv_ways = 10;
+
+  // Shared LLC: 65536 sets x 12 ways x 64B = 48 MB-class ("42 MB" Xeon Gold
+  // 6330 rounded to a power-of-two set count).
+  unsigned llc_sets_log2 = 16;
+  unsigned llc_ways = 12;
+
+  // Latencies (ns).
+  Tick priv_hit_ns = 3;
+  Tick llc_hit_ns = 22;
+  Tick dram_ns = 90;
+  Tick coherence_ns = 60;
+  Tick atomic_extra_ns = 15;
+  Tick stream_line_ns = 8;  // per-line cost for lines after the first in a
+                            // multi-line (streaming) access
+  Tick miss_cpu_ns = 22;    // serial CPU cost per LLC-level access (issue,
+                            // switch, pipeline drain) — NOT overlappable,
+                            // unlike the fill latency itself
+
+  // DDIO: the two "rightmost" LLC ways (we use way indices 0 and 1).
+  unsigned ddio_ways = 2;
+
+  uint32_t DdioMask() const { return (1u << ddio_ways) - 1; }
+  uint32_t AllWaysMask() const { return (1u << llc_ways) - 1; }
+};
+
+struct AccessResult {
+  Tick latency = 0;
+  bool private_hit = false;
+};
+
+// Per-core, per-stage cache event counters (our "Intel PCM").
+struct StageCounters {
+  uint64_t accesses = 0;
+  uint64_t priv_hits = 0;
+  uint64_t llc_hits = 0;
+  uint64_t llc_misses = 0;
+  uint64_t coherence = 0;
+
+  void Add(const StageCounters& o) {
+    accesses += o.accesses;
+    priv_hits += o.priv_hits;
+    llc_hits += o.llc_hits;
+    llc_misses += o.llc_misses;
+    coherence += o.coherence;
+  }
+
+  // LLC miss rate among accesses that reached the LLC (the quantity the
+  // paper's PCM measurements report).
+  double LlcMissRate() const {
+    const uint64_t llc_refs = llc_hits + llc_misses;
+    return llc_refs == 0 ? 0.0
+                         : static_cast<double>(llc_misses) / static_cast<double>(llc_refs);
+  }
+};
+
+struct CoreCounters {
+  StageCounters by_stage[kNumStages];
+
+  StageCounters Total() const {
+    StageCounters t;
+    for (unsigned i = 0; i < kNumStages; i++) {
+      t.Add(by_stage[i]);
+    }
+    return t;
+  }
+};
+
+class MemoryModel {
+ public:
+  explicit MemoryModel(const MachineConfig& cfg)
+      : cfg_(cfg),
+        priv_sets_(1u << cfg.priv_sets_log2),
+        priv_set_mask_(priv_sets_ - 1),
+        llc_sets_(1u << cfg.llc_sets_log2),
+        llc_set_mask_(llc_sets_ - 1) {
+    UTPS_CHECK(cfg.num_cores <= 32);
+    UTPS_CHECK(cfg.llc_ways <= 16);
+    UTPS_CHECK(cfg.priv_ways <= 16);
+    priv_tags_.assign(size_t{cfg.num_cores} * priv_sets_ * cfg.priv_ways, 0);
+    priv_excl_.assign(priv_tags_.size(), 0);
+    priv_order_.assign(priv_tags_.size(), 0);
+    llc_.assign(size_t{llc_sets_} * cfg.llc_ways, LlcEntry{});
+    llc_order_.assign(size_t{llc_sets_} * cfg.llc_ways, 0);
+    for (uint32_t s = 0; s < llc_sets_; s++) {
+      for (unsigned w = 0; w < cfg.llc_ways; w++) {
+        llc_order_[size_t{s} * cfg.llc_ways + w] = static_cast<uint8_t>(w);
+      }
+    }
+    for (size_t i = 0; i < priv_order_.size(); i++) {
+      priv_order_[i] = static_cast<uint8_t>(i % cfg.priv_ways);
+    }
+    for (auto& m : clos_masks_) {
+      m = cfg.AllWaysMask();
+    }
+    counters_.assign(cfg.num_cores, CoreCounters{});
+  }
+
+  // ------------------------------------------------------------------ CLOS
+  // pqos-style way mask control (the auto-tuner's "LLC allocation" knob).
+  void SetClosMask(ClosId clos, uint32_t way_mask) {
+    UTPS_CHECK(clos < kMaxClos);
+    UTPS_CHECK((way_mask & cfg_.AllWaysMask()) != 0);
+    clos_masks_[clos] = way_mask & cfg_.AllWaysMask();
+  }
+  uint32_t ClosMask(ClosId clos) const { return clos_masks_[clos]; }
+
+  // --------------------------------------------------------------- CPU side
+  // Models one access of `len` bytes at `addr` by `core` under `clos`.
+  // Multi-line accesses charge full latency for the first line and a
+  // streaming cost for subsequent lines.
+  AccessResult Access(CoreId core, ClosId clos, Stage stage, const void* addr,
+                      size_t len, bool write, bool rmw = false) {
+    const uintptr_t a = reinterpret_cast<uintptr_t>(addr);
+    uint64_t first = a >> 6;
+    uint64_t last = (a + (len == 0 ? 0 : len - 1)) >> 6;
+    AccessResult r;
+    bool first_line = true;
+    for (uint64_t line = first; line <= last; line++) {
+      bool priv_hit = false;
+      Tick lat = AccessLine(core, clos, stage, line, write, &priv_hit);
+      if (first_line) {
+        r.latency = lat;
+        r.private_hit = priv_hit;
+        first_line = false;
+      } else {
+        r.latency += priv_hit ? cfg_.priv_hit_ns : cfg_.stream_line_ns;
+        r.private_hit = r.private_hit && priv_hit;
+      }
+    }
+    if (rmw) {
+      r.latency += cfg_.atomic_extra_ns;
+      r.private_hit = false;  // atomics always serialize through the engine
+    }
+    return r;
+  }
+
+  // ---------------------------------------------------------------- IO side
+  // DDIO write from the NIC. Returns DMA latency (charged to the NIC
+  // timeline, not to any core).
+  Tick IoWrite(const void* addr, size_t len) {
+    const uintptr_t a = reinterpret_cast<uintptr_t>(addr);
+    uint64_t first = a >> 6;
+    uint64_t last = (a + (len == 0 ? 0 : len - 1)) >> 6;
+    Tick total = 0;
+    for (uint64_t line = first; line <= last; line++) {
+      total += IoWriteLine(line);
+    }
+    return total;
+  }
+
+  // DMA read (no cache allocation on miss, per DDIO read semantics).
+  Tick IoRead(const void* addr, size_t len) {
+    const uintptr_t a = reinterpret_cast<uintptr_t>(addr);
+    uint64_t first = a >> 6;
+    uint64_t last = (a + (len == 0 ? 0 : len - 1)) >> 6;
+    Tick total = 0;
+    for (uint64_t line = first; line <= last; line++) {
+      unsigned way;
+      uint32_t set = LlcSet(line);
+      if (LlcProbe(set, line, &way)) {
+        total += cfg_.llc_hit_ns;
+      } else {
+        total += cfg_.dram_ns;
+      }
+      io_reads_++;
+    }
+    return total;
+  }
+
+  // ----------------------------------------------------------------- stats
+  const CoreCounters& Counters(CoreId core) const { return counters_[core]; }
+  void ResetCounters() {
+    for (auto& c : counters_) {
+      c = CoreCounters{};
+    }
+    io_writes_ = io_write_misses_ = io_reads_ = 0;
+  }
+  uint64_t io_writes() const { return io_writes_; }
+  uint64_t io_write_misses() const { return io_write_misses_; }
+
+  // Drop all cached state (used between benchmark points that share a
+  // populated store).
+  void FlushAll() {
+    std::fill(priv_tags_.begin(), priv_tags_.end(), 0);
+    std::fill(llc_.begin(), llc_.end(), LlcEntry{});
+  }
+
+  const MachineConfig& config() const { return cfg_; }
+
+  static constexpr unsigned kMaxClos = 8;
+
+ private:
+  struct LlcEntry {
+    uint64_t tag = 0;  // line address + 1 (0 = invalid)
+    uint32_t sharers = 0;
+    int8_t owner = -1;  // core holding the line exclusively, -1 = shared
+    bool dirty = false;
+  };
+
+  uint32_t PrivSet(uint64_t line) const {
+    return static_cast<uint32_t>(line) & priv_set_mask_;
+  }
+  uint32_t LlcSet(uint64_t line) const {
+    return static_cast<uint32_t>(line) & llc_set_mask_;
+  }
+
+  size_t PrivBase(CoreId core, uint32_t set) const {
+    return (size_t{core} * priv_sets_ + set) * cfg_.priv_ways;
+  }
+  size_t LlcBase(uint32_t set) const { return size_t{set} * cfg_.llc_ways; }
+
+  // Probe the private cache; on hit move the way to MRU position.
+  bool PrivProbe(CoreId core, uint64_t line, size_t* entry_out) {
+    const uint32_t set = PrivSet(line);
+    const size_t base = PrivBase(core, set);
+    const uint64_t tag = line + 1;
+    for (unsigned i = 0; i < cfg_.priv_ways; i++) {
+      const unsigned way = priv_order_[base + i];
+      if (priv_tags_[base + way] == tag) {
+        // Move-to-front in the recency order.
+        for (unsigned j = i; j > 0; j--) {
+          priv_order_[base + j] = priv_order_[base + j - 1];
+        }
+        priv_order_[base] = static_cast<uint8_t>(way);
+        *entry_out = base + way;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Insert a line into the private cache; evicts LRU way. On eviction, clears
+  // the core's sharer bit in the LLC.
+  size_t PrivFill(CoreId core, uint64_t line, bool exclusive) {
+    const uint32_t set = PrivSet(line);
+    const size_t base = PrivBase(core, set);
+    const unsigned victim = priv_order_[base + cfg_.priv_ways - 1];
+    const uint64_t old_tag = priv_tags_[base + victim];
+    if (old_tag != 0) {
+      ClearSharer(core, old_tag - 1);
+    }
+    priv_tags_[base + victim] = line + 1;
+    priv_excl_[base + victim] = exclusive ? 1 : 0;
+    for (unsigned j = cfg_.priv_ways - 1; j > 0; j--) {
+      priv_order_[base + j] = priv_order_[base + j - 1];
+    }
+    priv_order_[base] = static_cast<uint8_t>(victim);
+    return base + victim;
+  }
+
+  void PrivInvalidate(CoreId core, uint64_t line) {
+    const uint32_t set = PrivSet(line);
+    const size_t base = PrivBase(core, set);
+    const uint64_t tag = line + 1;
+    for (unsigned w = 0; w < cfg_.priv_ways; w++) {
+      if (priv_tags_[base + w] == tag) {
+        priv_tags_[base + w] = 0;
+        return;
+      }
+    }
+  }
+
+  void ClearSharer(CoreId core, uint64_t line) {
+    unsigned way;
+    const uint32_t set = LlcSet(line);
+    if (LlcProbe(set, line, &way, /*touch=*/false)) {
+      LlcEntry& e = llc_[LlcBase(set) + way];
+      e.sharers &= ~(1u << core);
+      if (e.owner == static_cast<int8_t>(core)) {
+        e.owner = -1;
+      }
+    }
+  }
+
+  bool LlcProbe(uint32_t set, uint64_t line, unsigned* way_out, bool touch = true) {
+    const size_t base = LlcBase(set);
+    const uint64_t tag = line + 1;
+    for (unsigned i = 0; i < cfg_.llc_ways; i++) {
+      const unsigned way = llc_order_[base + i];
+      if (llc_[base + way].tag == tag) {
+        if (touch) {
+          for (unsigned j = i; j > 0; j--) {
+            llc_order_[base + j] = llc_order_[base + j - 1];
+          }
+          llc_order_[base] = static_cast<uint8_t>(way);
+        }
+        *way_out = way;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Choose an eviction victim within `allowed_mask`: the least recently used
+  // way whose index is allowed (CAT semantics).
+  unsigned LlcVictim(uint32_t set, uint32_t allowed_mask) {
+    const size_t base = LlcBase(set);
+    for (int i = static_cast<int>(cfg_.llc_ways) - 1; i >= 0; i--) {
+      const unsigned way = llc_order_[base + i];
+      if (allowed_mask & (1u << way)) {
+        return way;
+      }
+    }
+    // Mask validated non-empty at SetClosMask; unreachable.
+    return llc_order_[base + cfg_.llc_ways - 1];
+  }
+
+  void LlcInstall(uint32_t set, unsigned way, uint64_t line, uint32_t sharers,
+                  int8_t owner, bool dirty) {
+    const size_t base = LlcBase(set);
+    LlcEntry& e = llc_[base + way];
+    if (e.tag != 0) {
+      // Inclusive LLC: back-invalidate private copies of the victim line.
+      const uint64_t old_line = e.tag - 1;
+      uint32_t s = e.sharers;
+      while (s != 0) {
+        const unsigned c = static_cast<unsigned>(__builtin_ctz(s));
+        s &= s - 1;
+        PrivInvalidate(static_cast<CoreId>(c), old_line);
+      }
+    }
+    e.tag = line + 1;
+    e.sharers = sharers;
+    e.owner = owner;
+    e.dirty = dirty;
+    // Installed line becomes MRU.
+    for (unsigned i = 0; i < cfg_.llc_ways; i++) {
+      if (llc_order_[base + i] == way) {
+        for (unsigned j = i; j > 0; j--) {
+          llc_order_[base + j] = llc_order_[base + j - 1];
+        }
+        llc_order_[base] = static_cast<uint8_t>(way);
+        break;
+      }
+    }
+  }
+
+  Tick AccessLine(CoreId core, ClosId clos, Stage stage, uint64_t line, bool write,
+                  bool* priv_hit_out) {
+    StageCounters& sc = counters_[core].by_stage[static_cast<unsigned>(stage)];
+    sc.accesses++;
+    size_t pe;
+    const uint32_t set = LlcSet(line);
+    if (PrivProbe(core, line, &pe)) {
+      if (!write || priv_excl_[pe]) {
+        sc.priv_hits++;
+        if (write) {
+          MarkDirty(set, line);
+        }
+        *priv_hit_out = true;
+        return cfg_.priv_hit_ns;
+      }
+      // Write upgrade: fall through to the LLC to invalidate other sharers.
+    }
+    *priv_hit_out = false;
+    unsigned way;
+    Tick lat;
+    if (LlcProbe(set, line, &way)) {
+      LlcEntry& e = llc_[LlcBase(set) + way];
+      lat = cfg_.llc_hit_ns;
+      sc.llc_hits++;
+      const uint32_t others = e.sharers & ~(1u << core);
+      if (write) {
+        if (others != 0) {
+          lat += cfg_.coherence_ns;
+          sc.coherence++;
+          uint32_t s = others;
+          while (s != 0) {
+            const unsigned c = static_cast<unsigned>(__builtin_ctz(s));
+            s &= s - 1;
+            PrivInvalidate(static_cast<CoreId>(c), line);
+          }
+        }
+        e.sharers = 1u << core;
+        e.owner = static_cast<int8_t>(core);
+        e.dirty = true;
+        pe = PrivFill(core, line, /*exclusive=*/true);
+        RefreshSharersAfterFill(set, line, core, /*exclusive=*/true);
+      } else {
+        if (e.owner >= 0 && e.owner != static_cast<int8_t>(core) && e.dirty) {
+          lat += cfg_.coherence_ns;  // dirty transfer from owner's cache
+          sc.coherence++;
+        }
+        e.owner = -1;
+        e.sharers |= 1u << core;
+        PrivFill(core, line, /*exclusive=*/false);
+      }
+    } else {
+      lat = cfg_.dram_ns;
+      sc.llc_misses++;
+      const unsigned victim = LlcVictim(set, clos_masks_[clos]);
+      LlcInstall(set, victim, line, 1u << core,
+                 write ? static_cast<int8_t>(core) : int8_t{-1}, write);
+      PrivFill(core, line, /*exclusive=*/write);
+    }
+    return lat;
+  }
+
+  void MarkDirty(uint32_t set, uint64_t line) {
+    unsigned way;
+    if (LlcProbe(set, line, &way, /*touch=*/false)) {
+      llc_[LlcBase(set) + way].dirty = true;
+    }
+  }
+
+  // PrivFill may evict the very line just installed elsewhere in the set walk
+  // and clear sharer bits; re-assert this core's bit.
+  void RefreshSharersAfterFill(uint32_t set, uint64_t line, CoreId core,
+                               bool exclusive) {
+    unsigned way;
+    if (LlcProbe(set, line, &way, /*touch=*/false)) {
+      LlcEntry& e = llc_[LlcBase(set) + way];
+      e.sharers |= 1u << core;
+      if (exclusive) {
+        e.owner = static_cast<int8_t>(core);
+      }
+    }
+  }
+
+  Tick IoWriteLine(uint64_t line) {
+    io_writes_++;
+    const uint32_t set = LlcSet(line);
+    unsigned way;
+    if (LlcProbe(set, line, &way)) {
+      // DDIO update-in-place: any way, invalidate CPU private copies.
+      LlcEntry& e = llc_[LlcBase(set) + way];
+      uint32_t s = e.sharers;
+      while (s != 0) {
+        const unsigned c = static_cast<unsigned>(__builtin_ctz(s));
+        s &= s - 1;
+        PrivInvalidate(static_cast<CoreId>(c), line);
+      }
+      e.sharers = 0;
+      e.owner = -1;
+      e.dirty = true;
+      return cfg_.llc_hit_ns;
+    }
+    // DDIO allocating write: restricted to the DDIO ways.
+    io_write_misses_++;
+    const unsigned victim = LlcVictim(set, cfg_.DdioMask());
+    LlcInstall(set, victim, line, /*sharers=*/0, /*owner=*/-1, /*dirty=*/true);
+    return cfg_.dram_ns;
+  }
+
+  MachineConfig cfg_;
+  uint32_t priv_sets_;
+  uint32_t priv_set_mask_;
+  uint32_t llc_sets_;
+  uint32_t llc_set_mask_;
+
+  std::vector<uint64_t> priv_tags_;   // [core][set][way] -> line+1 (0 invalid)
+  std::vector<uint8_t> priv_excl_;    // [core][set][way] -> exclusive?
+  std::vector<uint8_t> priv_order_;   // [core][set][i] -> way, MRU first
+  std::vector<LlcEntry> llc_;         // [set][way]
+  std::vector<uint8_t> llc_order_;    // [set][i] -> way, MRU first
+
+  uint32_t clos_masks_[kMaxClos] = {};
+  std::vector<CoreCounters> counters_;
+  uint64_t io_writes_ = 0;
+  uint64_t io_write_misses_ = 0;
+  uint64_t io_reads_ = 0;
+};
+
+}  // namespace utps::sim
+
+#endif  // UTPS_SIM_CACHE_H_

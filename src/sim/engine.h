@@ -1,0 +1,157 @@
+// Discrete-event engine: the virtual-time scheduler for all simulated threads
+// (server workers, management threads, NIC deliveries, client threads).
+//
+// Everything runs on ONE host thread; simulated concurrency is expressed by
+// coroutines interleaved in virtual-time order, which makes every experiment
+// deterministic and lets a 1-core host model a 28-core server.
+#ifndef UTPS_SIM_ENGINE_H_
+#define UTPS_SIM_ENGINE_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/macros.h"
+#include "sim/task.h"
+#include "sim/types.h"
+
+namespace utps::sim {
+
+// Top-level simulated thread. Created by calling a coroutine function that
+// returns Fiber and registering it with Engine::Spawn. The engine owns the
+// frame: fibers that never finish (e.g. blocked at experiment teardown) are
+// destroyed safely when the engine is destroyed.
+class [[nodiscard]] Fiber {
+ public:
+  struct promise_type;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  struct promise_type {
+    bool done = false;
+    uint64_t* live_counter = nullptr;
+
+    Fiber get_return_object() { return Fiber(Handle::from_promise(*this)); }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_always final_suspend() noexcept {
+      done = true;
+      if (live_counter != nullptr) {
+        (*live_counter)--;
+      }
+      return {};
+    }
+    void return_void() {}
+    void unhandled_exception() { std::abort(); }
+
+    static void* operator new(size_t n) { return FramePool::Allocate(n); }
+    static void operator delete(void* p, size_t n) { FramePool::Free(p, n); }
+  };
+
+  Fiber() = default;
+  explicit Fiber(Handle h) : h_(h) {}
+  Fiber(Fiber&& other) noexcept : h_(std::exchange(other.h_, {})) {}
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+  Fiber& operator=(Fiber&& other) noexcept {
+    if (this != &other) {
+      if (h_) {
+        h_.destroy();
+      }
+      h_ = std::exchange(other.h_, {});
+    }
+    return *this;
+  }
+  ~Fiber() = default;  // ownership transferred to Engine by Spawn
+
+  Handle release() { return std::exchange(h_, {}); }
+
+ private:
+  Handle h_{};
+};
+
+class Engine {
+ public:
+  Engine() = default;
+  ~Engine() { DestroyFibers(); }
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  Tick now() const { return now_; }
+
+  // Schedule a coroutine to be resumed at virtual time `t` (>= now).
+  void ScheduleAt(Tick t, std::coroutine_handle<> h) {
+    UTPS_DCHECK(t >= now_);
+    heap_.push(Event{t, seq_++, h});
+  }
+
+  // Register and start a top-level simulated thread; first resumption happens
+  // at virtual time max(now, start_at).
+  void Spawn(Fiber f, Tick start_at = 0) {
+    Fiber::Handle h = f.release();
+    h.promise().live_counter = &live_fibers_;
+    live_fibers_++;
+    fibers_.push_back(h);
+    ScheduleAt(start_at < now_ ? now_ : start_at, h);
+  }
+
+  // Run until the event queue is empty or virtual time would exceed `until`.
+  // Events at t > until remain queued (resumable by a later Run call).
+  void Run(Tick until) {
+    while (!heap_.empty() && heap_.top().t <= until) {
+      Event ev = heap_.top();
+      heap_.pop();
+      now_ = ev.t;
+      ev.h.resume();
+    }
+    if (now_ < until) {
+      now_ = until;
+    }
+  }
+
+  // Run until no events remain (all fibers finished or blocked on external
+  // wakeups that will never come). `limit` guards against livelock.
+  void RunToQuiescence(Tick limit) {
+    while (!heap_.empty()) {
+      UTPS_CHECK_MSG(heap_.top().t <= limit, "simulation exceeded quiescence limit");
+      Event ev = heap_.top();
+      heap_.pop();
+      now_ = ev.t;
+      ev.h.resume();
+    }
+  }
+
+  uint64_t live_fibers() const { return live_fibers_; }
+  bool idle() const { return heap_.empty(); }
+
+ private:
+  struct Event {
+    Tick t;
+    uint64_t seq;  // FIFO tiebreak for same-tick events -> determinism
+    std::coroutine_handle<> h;
+
+    bool operator>(const Event& o) const {
+      return t != o.t ? t > o.t : seq > o.seq;
+    }
+  };
+
+  void DestroyFibers() {
+    // Destroy outermost frames; locals (including nested Task objects) are
+    // destroyed transitively, releasing nested coroutine frames.
+    for (auto h : fibers_) {
+      if (h) {
+        h.destroy();
+      }
+    }
+    fibers_.clear();
+  }
+
+  Tick now_ = 0;
+  uint64_t seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> heap_;
+  std::vector<Fiber::Handle> fibers_;
+  uint64_t live_fibers_ = 0;
+};
+
+}  // namespace utps::sim
+
+#endif  // UTPS_SIM_ENGINE_H_

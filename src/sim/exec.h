@@ -1,0 +1,149 @@
+// ExecCtx: per-simulated-thread execution context plus the awaitables that
+// charge virtual time.
+//
+// Fast path: private-cache hits and pure-CPU costs accumulate into
+// ctx.pending without suspending (no event-queue traffic); any LLC-level
+// access, delay, or synchronization flushes pending and suspends through the
+// engine, which is where simulated threads interleave. A fairness guard
+// forces a suspension after too many consecutive fast operations so no fiber
+// can run unboundedly ahead.
+#ifndef UTPS_SIM_EXEC_H_
+#define UTPS_SIM_EXEC_H_
+
+#include <coroutine>
+#include <cstddef>
+#include <vector>
+
+#include "sim/cache.h"
+#include "sim/engine.h"
+#include "sim/types.h"
+
+namespace utps::sim {
+
+struct ExecCtx;
+
+// Batch control block for batched coroutine execution (§3.3 of the paper):
+// while a worker drives a batch of traversal coroutines, their memory-stall
+// suspensions are parked here (with the virtual time at which the fill
+// completes) instead of going through the engine, so the driver can overlap
+// outstanding misses across the batch — the simulation-level equivalent of
+// prefetch + coroutine yield.
+struct BatchCtl {
+  struct Parked {
+    std::coroutine_handle<> h;
+    Tick resume_at;
+  };
+  std::vector<Parked> waiting;
+};
+
+// Suspends the fiber and resumes it `extra` ns after its current local time.
+// When `batchable` and the context is running a batch, the suspension parks
+// in the BatchCtl instead of the engine queue.
+struct SuspendAwaiter {
+  ExecCtx* ctx;
+  Tick extra;
+  bool ready;
+  bool batchable = true;
+
+  bool await_ready() const noexcept { return ready; }
+  inline void await_suspend(std::coroutine_handle<> h) noexcept;
+  void await_resume() const noexcept {}
+};
+
+struct ExecCtx {
+  Engine* eng = nullptr;
+  MemoryModel* mem = nullptr;  // nullptr => client-node context (flat costs)
+  CoreId core = 0;
+  ClosId clos = 0;
+  Stage stage = Stage::kIdle;
+
+  Tick pending = 0;      // locally accrued time not yet synced to the engine
+  uint32_t fast_ops = 0;  // consecutive non-suspending operations
+  bool stop = false;      // cooperative shutdown flag
+  BatchCtl* batch = nullptr;  // non-null while driving a coroutine batch
+
+  // Flat per-line cost for contexts without a cache model (client machines).
+  Tick flat_line_ns = 4;
+
+  static constexpr uint32_t kMaxFastOps = 64;
+  static constexpr Tick kMaxPending = 400;
+
+  Tick Now() const { return eng->now() + pending; }
+
+  // Pure CPU work (parsing, arithmetic); never suspends by itself.
+  void Charge(Tick ns) { pending += ns; }
+
+  // Modeled memory access. Suspends on anything beyond a private-cache hit.
+  SuspendAwaiter Access(const void* p, size_t len, bool write, bool rmw = false) {
+    if (mem == nullptr) {
+      const size_t lines = 1 + (len == 0 ? 0 : (len - 1) / kCachelineBytes);
+      pending += flat_line_ns * lines + (rmw ? 10 : 0);
+      return MaybeFast();
+    }
+    const AccessResult r = mem->Access(core, clos, stage, p, len, write, rmw);
+    if (r.private_hit && !rmw) {
+      pending += r.latency;
+      return MaybeFast();
+    }
+    // The fill stall (r.latency) can be overlapped by batched execution; the
+    // per-miss CPU overhead cannot and is charged serially.
+    pending += mem->config().miss_cpu_ns;
+    return SuspendAwaiter{this, r.latency, false};
+  }
+
+  SuspendAwaiter Read(const void* p, size_t len) { return Access(p, len, false); }
+  SuspendAwaiter Write(const void* p, size_t len) { return Access(p, len, true); }
+  SuspendAwaiter Rmw(const void* p, size_t len = 8) {
+    return Access(p, len, true, /*rmw=*/true);
+  }
+
+  // Suspend for `ns` of virtual time (flushes pending). Never parks in a
+  // batch — this is what batch drivers themselves use.
+  SuspendAwaiter Delay(Tick ns) { return SuspendAwaiter{this, ns, false, false}; }
+
+  // Cooperative yield: flush pending, guarantee >= 1ns progress so empty
+  // poll loops always advance virtual time.
+  SuspendAwaiter Yield() {
+    const Tick ns = pending == 0 ? 1 : 0;
+    return SuspendAwaiter{this, ns, false};
+  }
+
+ private:
+  SuspendAwaiter MaybeFast() {
+    if (++fast_ops > kMaxFastOps || pending > kMaxPending) {
+      return SuspendAwaiter{this, 0, false};
+    }
+    return SuspendAwaiter{this, 0, true};
+  }
+};
+
+inline void SuspendAwaiter::await_suspend(std::coroutine_handle<> h) noexcept {
+  const Tick t = ctx->eng->now() + ctx->pending + extra;
+  ctx->fast_ops = 0;
+  if (batchable && ctx->batch != nullptr) {
+    // Park in the batch: only the fill stall (`extra`) overlaps with other
+    // coroutines. The accrued CPU time (ctx->pending) stays on the core
+    // clock — the driver's next action happens after it.
+    ctx->batch->waiting.push_back(BatchCtl::Parked{h, t});
+    return;
+  }
+  ctx->pending = 0;
+  ctx->eng->ScheduleAt(t, h);
+}
+
+// Sets ctx.stage for a scope (RAII), for PCM-style stage attribution.
+class StageScope {
+ public:
+  StageScope(ExecCtx& ctx, Stage s) : ctx_(ctx), saved_(ctx.stage) { ctx_.stage = s; }
+  ~StageScope() { ctx_.stage = saved_; }
+  StageScope(const StageScope&) = delete;
+  StageScope& operator=(const StageScope&) = delete;
+
+ private:
+  ExecCtx& ctx_;
+  Stage saved_;
+};
+
+}  // namespace utps::sim
+
+#endif  // UTPS_SIM_EXEC_H_

@@ -1,0 +1,227 @@
+// NIC model: a ConnectX-class RNIC connecting simulated client machines to
+// the server.
+//
+//  - Two-sided path: clients post sends; messages serialize through an
+//    ingress link (token-bucket for message rate and 200 Gbps byte rate),
+//    travel RTT/2, and land in one of the server's receive rings in arrival
+//    order (the RPC layer decides slot placement and performs the DDIO DMA
+//    write via the cache model). Responses serialize through the egress link
+//    and complete the client's OneShot at delivery time.
+//  - One-sided verbs (READ/WRITE/CAS): executed as client coroutines; the
+//    remote memory operation is performed exactly at the simulated
+//    server-side time, linearizing one-sided ops against server CPU ops.
+//
+// The NIC does not interpret message headers: NicMessage carries four opaque
+// 64-bit words that the RPC/KVS layers encode.
+#ifndef UTPS_SIM_NIC_H_
+#define UTPS_SIM_NIC_H_
+
+#include <cstring>
+#include <deque>
+#include <vector>
+
+#include "common/macros.h"
+#include "sim/cache.h"
+#include "sim/exec.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace utps::sim {
+
+struct NicConfig {
+  Tick rtt_ns = 2000;               // client <-> server round trip
+  double msg_rate_mops = 150.0;     // per-direction message rate cap (M msg/s)
+  double bandwidth_gbps = 200.0;    // per-direction line rate
+  Tick client_send_cpu_ns = 30;     // client CPU cost to post a send
+  Tick verb_cpu_ns = 40;            // client CPU cost to post a one-sided verb
+  unsigned verb_header_bytes = 30;  // RDMA header overhead per message
+};
+
+struct NicMessage {
+  uint64_t h[4] = {0, 0, 0, 0};     // opaque app header words
+  const void* payload = nullptr;    // client-side payload (put value bytes)
+  uint32_t payload_len = 0;
+  uint32_t wire_bytes = 0;          // total on-wire size
+  OneShot* completion = nullptr;    // response completion (owned by client)
+  void* copy_out = nullptr;         // client buffer for response payload
+  uint32_t copy_out_len = 0;        // filled on the server-side message copy
+  uint32_t* resp_len_out = nullptr; // client-owned: receives the payload length
+  Tick issue_tick = 0;
+  Tick arrival_tick = 0;
+};
+
+// Serializes messages through a link: departure time respects both a
+// per-message rate cap and the byte rate.
+class LinkSerializer {
+ public:
+  LinkSerializer(double msg_rate_mops, double bandwidth_gbps)
+      : ns_per_msg_(1000.0 / msg_rate_mops),
+        ns_per_byte_(8.0 / bandwidth_gbps) {}
+
+  Tick Depart(Tick now, size_t bytes) {
+    const double cost_d = ns_per_msg_ > ns_per_byte_ * static_cast<double>(bytes)
+                              ? ns_per_msg_
+                              : ns_per_byte_ * static_cast<double>(bytes);
+    // Accumulate fractional cost so sub-ns message costs are not lost.
+    frac_ += cost_d;
+    const Tick cost = static_cast<Tick>(frac_);
+    frac_ -= static_cast<double>(cost);
+    const Tick dep = now > next_free_ ? now : next_free_;
+    next_free_ = dep + cost;
+    return dep;
+  }
+
+  void Reset() {
+    next_free_ = 0;
+    frac_ = 0.0;
+  }
+
+ private:
+  double ns_per_msg_;
+  double ns_per_byte_;
+  Tick next_free_ = 0;
+  double frac_ = 0.0;
+};
+
+class Nic {
+ public:
+  Nic(Engine* eng, MemoryModel* mem, const NicConfig& cfg, unsigned num_rings)
+      : eng_(eng),
+        mem_(mem),
+        cfg_(cfg),
+        rx_link_(cfg.msg_rate_mops, cfg.bandwidth_gbps),
+        tx_link_(cfg.msg_rate_mops, cfg.bandwidth_gbps),
+        rings_(num_rings) {}
+
+  const NicConfig& config() const { return cfg_; }
+
+  // ------------------------------------------------------------- two-sided
+  // Client posts a request toward server receive ring `ring`.
+  void ClientSend(ExecCtx& cli, unsigned ring, NicMessage msg) {
+    UTPS_DCHECK(ring < rings_.size());
+    cli.Charge(cfg_.client_send_cpu_ns);
+    msg.wire_bytes = cfg_.verb_header_bytes + 32 + msg.payload_len;
+    msg.issue_tick = cli.Now();
+    const Tick dep = rx_link_.Depart(cli.Now(), msg.wire_bytes);
+    msg.arrival_tick = dep + cfg_.rtt_ns / 2;
+    rx_messages_++;
+    rx_bytes_ += msg.wire_bytes;
+    rings_[ring].push_back(msg);
+  }
+
+  // Pop the next message that has arrived at the server by `now`.
+  bool PopArrived(unsigned ring, Tick now, NicMessage* out) {
+    auto& q = rings_[ring];
+    if (q.empty() || q.front().arrival_tick > now) {
+      return false;
+    }
+    *out = q.front();
+    q.pop_front();
+    return true;
+  }
+
+  size_t RingDepth(unsigned ring) const { return rings_[ring].size(); }
+  unsigned NumRings() const { return static_cast<unsigned>(rings_.size()); }
+
+  // Server posts a response of `resp_payload_len` bytes; completes the
+  // client's OneShot at delivery time. If the request asked for payload
+  // copy-out, `resp_src` is copied into the client's buffer now (host-level
+  // copy for correctness validation; timing is carried by the wire model).
+  void ServerSend(ExecCtx& srv, const NicMessage& req, const void* resp_src,
+                  uint32_t resp_payload_len) {
+    const size_t bytes = cfg_.verb_header_bytes + 16 + resp_payload_len;
+    const Tick dep = tx_link_.Depart(srv.Now(), bytes);
+    tx_messages_++;
+    tx_bytes_ += bytes;
+    if (req.copy_out != nullptr && resp_src != nullptr) {
+      std::memcpy(req.copy_out, resp_src, resp_payload_len);
+    }
+    if (req.resp_len_out != nullptr) {
+      *req.resp_len_out = resp_payload_len;
+    }
+    if (req.completion != nullptr) {
+      const_cast<NicMessage&>(req).copy_out_len = resp_payload_len;
+      req.completion->Complete(*eng_, dep + cfg_.rtt_ns / 2);
+    }
+  }
+
+  // ------------------------------------------------------------- one-sided
+  // RDMA READ: remote memory is read (and copied into dst) at the simulated
+  // server-side time.
+  Task<Tick> ReadVerb(ExecCtx& cli, void* dst, const void* src, size_t len) {
+    cli.Charge(cfg_.verb_cpu_ns);
+    const Tick dep = rx_link_.Depart(cli.Now(), cfg_.verb_header_bytes);
+    rx_messages_++;
+    co_await cli.Delay(dep - cli.Now() + cfg_.rtt_ns / 2);
+    // Server-side moment: DMA read.
+    const Tick dma = mem_ != nullptr ? mem_->IoRead(src, len) : 20;
+    std::memcpy(dst, src, len);
+    const Tick dep2 = tx_link_.Depart(cli.Now() + dma, cfg_.verb_header_bytes + len);
+    tx_messages_++;
+    tx_bytes_ += cfg_.verb_header_bytes + len;
+    co_await cli.Delay(dep2 - cli.Now() + cfg_.rtt_ns / 2);
+    co_return cli.Now();
+  }
+
+  // RDMA WRITE (with completion; models write + remote ack).
+  Task<Tick> WriteVerb(ExecCtx& cli, void* dst, const void* src, size_t len) {
+    cli.Charge(cfg_.verb_cpu_ns);
+    const Tick dep = rx_link_.Depart(cli.Now(), cfg_.verb_header_bytes + len);
+    rx_messages_++;
+    rx_bytes_ += cfg_.verb_header_bytes + len;
+    co_await cli.Delay(dep - cli.Now() + cfg_.rtt_ns / 2);
+    // Server-side moment: DDIO write.
+    const Tick dma = mem_ != nullptr ? mem_->IoWrite(dst, len) : 20;
+    std::memcpy(dst, src, len);
+    const Tick dep2 = tx_link_.Depart(cli.Now() + dma, cfg_.verb_header_bytes);
+    tx_messages_++;
+    co_await cli.Delay(dep2 - cli.Now() + cfg_.rtt_ns / 2);
+    co_return cli.Now();
+  }
+
+  // RDMA CAS on an 8-byte word; returns the old value. Linearized at the
+  // simulated server-side time.
+  Task<uint64_t> CasVerb(ExecCtx& cli, uint64_t* addr, uint64_t expect,
+                         uint64_t desired) {
+    cli.Charge(cfg_.verb_cpu_ns);
+    const Tick dep = rx_link_.Depart(cli.Now(), cfg_.verb_header_bytes + 16);
+    rx_messages_++;
+    co_await cli.Delay(dep - cli.Now() + cfg_.rtt_ns / 2);
+    const Tick dma = mem_ != nullptr
+                         ? mem_->IoRead(addr, 8) + mem_->IoWrite(addr, 8)
+                         : 40;
+    const uint64_t old = *addr;
+    if (old == expect) {
+      *addr = desired;
+    }
+    const Tick dep2 = tx_link_.Depart(cli.Now() + dma, cfg_.verb_header_bytes + 8);
+    tx_messages_++;
+    co_await cli.Delay(dep2 - cli.Now() + cfg_.rtt_ns / 2);
+    co_return old;
+  }
+
+  // ----------------------------------------------------------------- stats
+  uint64_t rx_messages() const { return rx_messages_; }
+  uint64_t tx_messages() const { return tx_messages_; }
+  uint64_t rx_bytes() const { return rx_bytes_; }
+  uint64_t tx_bytes() const { return tx_bytes_; }
+
+  MemoryModel* mem() const { return mem_; }
+  Engine* engine() const { return eng_; }
+
+ private:
+  Engine* eng_;
+  MemoryModel* mem_;
+  NicConfig cfg_;
+  LinkSerializer rx_link_;
+  LinkSerializer tx_link_;
+  std::vector<std::deque<NicMessage>> rings_;
+  uint64_t rx_messages_ = 0;
+  uint64_t tx_messages_ = 0;
+  uint64_t rx_bytes_ = 0;
+  uint64_t tx_bytes_ = 0;
+};
+
+}  // namespace utps::sim
+
+#endif  // UTPS_SIM_NIC_H_

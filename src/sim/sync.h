@@ -1,0 +1,189 @@
+// Synchronization primitives in virtual time: wait queues, spinlocks, and
+// one-shot completions.
+//
+// Because the entire simulation is serialized on one host thread, the *data*
+// operations need no host atomics; these primitives model the timing of
+// contention (lock handoff latency, cacheline ping-pong via the coherence
+// model — the lock word's own address is the modeled cacheline).
+#ifndef UTPS_SIM_SYNC_H_
+#define UTPS_SIM_SYNC_H_
+
+#include <coroutine>
+#include <deque>
+
+#include "common/macros.h"
+#include "sim/exec.h"
+
+namespace utps::sim {
+
+// FIFO queue of suspended fibers.
+class WaitQueue {
+ public:
+  struct Awaiter {
+    WaitQueue* q;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) { q->waiters_.push_back(h); }
+    void await_resume() const noexcept {}
+  };
+
+  // Suspend the calling fiber until notified. The caller's pending charge is
+  // flushed into the wait (it resumes relative to the notifier's time).
+  Awaiter Wait(ExecCtx& ctx) {
+    ctx.pending = 0;  // waiting absorbs any sub-ns local charge
+    ctx.fast_ops = 0;
+    return Awaiter{this};
+  }
+
+  // Wake the first waiter at virtual time `at`.
+  bool NotifyOne(Engine& eng, Tick at) {
+    if (waiters_.empty()) {
+      return false;
+    }
+    auto h = waiters_.front();
+    waiters_.pop_front();
+    eng.ScheduleAt(at < eng.now() ? eng.now() : at, h);
+    return true;
+  }
+
+  void NotifyAll(Engine& eng, Tick at) {
+    while (NotifyOne(eng, at)) {
+    }
+  }
+
+  bool empty() const { return waiters_.empty(); }
+  size_t size() const { return waiters_.size(); }
+
+ private:
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+// Queued spinlock. Acquire charges an atomic RMW on the lock word; contended
+// acquisitions park in a wait queue and are handed off in FIFO order with a
+// configurable handoff latency (models the cacheline transfer to the next
+// spinner).
+class SimSpinlock {
+ public:
+  // Must be awaited: co_await lock.Acquire(ctx);
+  struct AcquireAwaiter {
+    SimSpinlock* l;
+    ExecCtx* ctx;
+    bool await_ready() const noexcept { return false; }
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<> h) {
+      // Charge the atomic access on the lock word.
+      const AccessResult r =
+          ctx->mem != nullptr
+              ? ctx->mem->Access(ctx->core, ctx->clos, ctx->stage, &l->held_, 8,
+                                 true, /*rmw=*/true)
+              : AccessResult{15, false};
+      const Tick t = ctx->eng->now() + ctx->pending + r.latency;
+      ctx->pending = 0;
+      ctx->fast_ops = 0;
+      if (!l->held_) {
+        l->held_ = true;
+        l->owner_ = ctx->core;
+        ctx->eng->ScheduleAt(t, h);
+      } else {
+        l->waiters_.push_back(h);
+      }
+      return std::noop_coroutine();
+    }
+    void await_resume() const noexcept {}
+  };
+
+  AcquireAwaiter Acquire(ExecCtx& ctx) { return AcquireAwaiter{this, &ctx}; }
+
+  // Try to take the lock without waiting; charges the RMW either way.
+  SuspendAwaiter TryAcquire(ExecCtx& ctx, bool* acquired) {
+    auto aw = ctx.Rmw(&held_);
+    if (!held_) {
+      held_ = true;
+      owner_ = ctx.core;
+      *acquired = true;
+    } else {
+      *acquired = false;
+    }
+    return aw;
+  }
+
+  void Release(ExecCtx& ctx) {
+    UTPS_DCHECK(held_);
+    if (!waiters_.empty()) {
+      // Hand off directly to the next waiter after the transfer latency.
+      auto h = waiters_.front();
+      waiters_.pop_front();
+      const Tick handoff = ctx.mem != nullptr ? ctx.mem->config().coherence_ns : 40;
+      ctx.eng->ScheduleAt(ctx.Now() + handoff, h);
+      // held_ stays true; ownership moves to the woken fiber.
+      owner_ = kNoOwner;
+    } else {
+      held_ = false;
+      owner_ = kNoOwner;
+    }
+  }
+
+  bool held() const { return held_; }
+
+ private:
+  static constexpr CoreId kNoOwner = 0xffff;
+
+  // The lock word; its own address is the modeled cacheline.
+  alignas(kCachelineBytes) bool held_ = false;
+  CoreId owner_ = kNoOwner;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+// One-shot completion: a client fiber waits for its response; the server/NIC
+// completes it with a delivery timestamp.
+class OneShot {
+ public:
+  struct Awaiter {
+    OneShot* o;
+    ExecCtx* ctx;
+    bool await_ready() const noexcept {
+      return o->ready_ && o->ready_at_ <= ctx->eng->now();
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      ctx->pending = 0;
+      ctx->fast_ops = 0;
+      if (o->ready_) {
+        ctx->eng->ScheduleAt(o->ready_at_, h);
+      } else {
+        UTPS_DCHECK(!o->waiter_);
+        o->waiter_ = h;
+        o->waiter_eng_ = ctx->eng;
+      }
+    }
+    void await_resume() const noexcept {}
+  };
+
+  Awaiter Wait(ExecCtx& ctx) { return Awaiter{this, &ctx}; }
+
+  void Complete(Engine& eng, Tick at) {
+    UTPS_DCHECK(!ready_);
+    ready_ = true;
+    ready_at_ = at < eng.now() ? eng.now() : at;
+    if (waiter_) {
+      waiter_eng_->ScheduleAt(ready_at_, waiter_);
+      waiter_ = {};
+    }
+  }
+
+  void Reset() {
+    ready_ = false;
+    ready_at_ = 0;
+    UTPS_DCHECK(!waiter_);
+  }
+
+  bool ready() const { return ready_; }
+  Tick ready_at() const { return ready_at_; }
+
+ private:
+  bool ready_ = false;
+  Tick ready_at_ = 0;
+  std::coroutine_handle<> waiter_{};
+  Engine* waiter_eng_ = nullptr;
+};
+
+}  // namespace utps::sim
+
+#endif  // UTPS_SIM_SYNC_H_

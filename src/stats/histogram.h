@@ -1,0 +1,131 @@
+// Log-linear latency histogram (HdrHistogram-style bucketing).
+//
+// Records values (virtual nanoseconds in this project) into buckets whose
+// width grows geometrically, giving ~1.5% relative error across nine decades
+// with a few KB of memory. Percentile queries interpolate inside the bucket.
+#ifndef UTPS_STATS_HISTOGRAM_H_
+#define UTPS_STATS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace utps {
+
+class Histogram {
+ public:
+  Histogram() : counts_(kNumBuckets, 0) {}
+
+  void Record(uint64_t value) {
+    counts_[BucketOf(value)]++;
+    total_++;
+    sum_ += value;
+    if (value > max_) {
+      max_ = value;
+    }
+    if (value < min_) {
+      min_ = value;
+    }
+  }
+
+  void Merge(const Histogram& other) {
+    for (unsigned i = 0; i < kNumBuckets; i++) {
+      counts_[i] += other.counts_[i];
+    }
+    total_ += other.total_;
+    sum_ += other.sum_;
+    if (other.max_ > max_) {
+      max_ = other.max_;
+    }
+    if (other.min_ < min_) {
+      min_ = other.min_;
+    }
+  }
+
+  void Reset() {
+    std::fill(counts_.begin(), counts_.end(), 0);
+    total_ = 0;
+    sum_ = 0;
+    max_ = 0;
+    min_ = UINT64_MAX;
+  }
+
+  uint64_t total() const { return total_; }
+  uint64_t max() const { return max_; }
+  uint64_t min() const { return total_ == 0 ? 0 : min_; }
+  double Mean() const {
+    return total_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(total_);
+  }
+
+  // q in [0, 1]; e.g. 0.5 for P50, 0.99 for P99.
+  uint64_t Percentile(double q) const {
+    if (total_ == 0) {
+      return 0;
+    }
+    uint64_t target = static_cast<uint64_t>(q * static_cast<double>(total_));
+    if (target >= total_) {
+      target = total_ - 1;
+    }
+    uint64_t seen = 0;
+    for (unsigned i = 0; i < kNumBuckets; i++) {
+      if (seen + counts_[i] > target) {
+        // Interpolate within the bucket.
+        const uint64_t lo = BucketLow(i);
+        const uint64_t hi = BucketHigh(i);
+        const double frac = counts_[i] == 0
+                                ? 0.0
+                                : static_cast<double>(target - seen) /
+                                      static_cast<double>(counts_[i]);
+        return lo + static_cast<uint64_t>(frac * static_cast<double>(hi - lo));
+      }
+      seen += counts_[i];
+    }
+    return max_;
+  }
+
+ private:
+  // 64 values per power of two, up to 2^40 ns (~18 minutes).
+  static constexpr unsigned kSubBucketBits = 6;
+  static constexpr unsigned kSubBuckets = 1u << kSubBucketBits;
+  static constexpr unsigned kMaxExp = 40;
+  static constexpr unsigned kNumBuckets = (kMaxExp - kSubBucketBits) * kSubBuckets;
+
+  static unsigned BucketOf(uint64_t v) {
+    if (v < kSubBuckets) {
+      return static_cast<unsigned>(v);
+    }
+    const unsigned msb = 63u - static_cast<unsigned>(__builtin_clzll(v));
+    const unsigned shift = msb - kSubBucketBits;
+    const unsigned group = shift + 1;  // 1-based group beyond the linear range
+    unsigned idx = group * kSubBuckets +
+                   static_cast<unsigned>((v >> shift) & (kSubBuckets - 1));
+    return idx < kNumBuckets ? idx : kNumBuckets - 1;
+  }
+
+  static uint64_t BucketLow(unsigned idx) {
+    const unsigned group = idx / kSubBuckets;
+    const unsigned sub = idx % kSubBuckets;
+    if (group == 0) {
+      return sub;
+    }
+    const unsigned shift = group - 1;
+    return (static_cast<uint64_t>(kSubBuckets + sub)) << shift;
+  }
+
+  static uint64_t BucketHigh(unsigned idx) {
+    const unsigned group = idx / kSubBuckets;
+    if (group == 0) {
+      return BucketLow(idx) + 1;
+    }
+    return BucketLow(idx) + (1ULL << (group - 1));
+  }
+
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t max_ = 0;
+  uint64_t min_ = UINT64_MAX;
+};
+
+}  // namespace utps
+
+#endif  // UTPS_STATS_HISTOGRAM_H_

@@ -1,0 +1,43 @@
+// Fixed-interval time-series recorder, used for throughput-over-time plots
+// (Figure 14) and auto-tuner monitoring windows.
+#ifndef UTPS_STATS_TIMESERIES_H_
+#define UTPS_STATS_TIMESERIES_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace utps {
+
+// Accumulates event counts into equal-width time buckets of virtual time.
+class TimeSeries {
+ public:
+  explicit TimeSeries(uint64_t bucket_ns) : bucket_ns_(bucket_ns) {}
+
+  void Add(uint64_t now_ns, uint64_t count = 1) {
+    const uint64_t idx = now_ns / bucket_ns_;
+    if (idx >= buckets_.size()) {
+      buckets_.resize(idx + 1, 0);
+    }
+    buckets_[idx] += count;
+  }
+
+  // Ops/s within bucket i.
+  double RateAt(size_t i) const {
+    if (i >= buckets_.size()) {
+      return 0.0;
+    }
+    return static_cast<double>(buckets_[i]) * 1e9 / static_cast<double>(bucket_ns_);
+  }
+
+  size_t NumBuckets() const { return buckets_.size(); }
+  uint64_t bucket_ns() const { return bucket_ns_; }
+  const std::vector<uint64_t>& buckets() const { return buckets_; }
+
+ private:
+  uint64_t bucket_ns_;
+  std::vector<uint64_t> buckets_;
+};
+
+}  // namespace utps
+
+#endif  // UTPS_STATS_TIMESERIES_H_

@@ -1,0 +1,81 @@
+// Slab allocator for KV items, backed by the simulation arena (so item
+// addresses map deterministically onto cache sets).
+//
+// Size classes are powers of two from 32 B; freed items go to per-class free
+// lists. Allocation is a host-side operation (the KVS's allocator cost is
+// charged by callers as CPU time); the returned memory participates in the
+// cache model like any other arena memory.
+#ifndef UTPS_STORE_SLAB_H_
+#define UTPS_STORE_SLAB_H_
+
+#include <cstdint>
+
+#include "common/macros.h"
+#include "sim/arena.h"
+#include "store/item.h"
+
+namespace utps {
+
+class SlabAllocator {
+ public:
+  explicit SlabAllocator(sim::Arena* arena) : arena_(arena) {
+    for (auto& f : free_) {
+      f = nullptr;
+    }
+  }
+
+  SlabAllocator(const SlabAllocator&) = delete;
+  SlabAllocator& operator=(const SlabAllocator&) = delete;
+
+  // Allocates an item with capacity for `value_capacity` value bytes.
+  Item* AllocateItem(Key key, uint32_t value_capacity) {
+    const size_t need = Item::AllocSize(value_capacity);
+    const unsigned cls = ClassOf(need);
+    void* p;
+    if (free_[cls] != nullptr) {
+      p = free_[cls];
+      free_[cls] = *static_cast<void**>(p);
+    } else {
+      p = arena_->Allocate(ClassBytes(cls), /*align=*/32);
+    }
+    Item* it = new (p) Item();
+    it->key = key;
+    it->capacity = static_cast<uint32_t>(ClassBytes(cls) - sizeof(Item));
+    live_items_++;
+    return it;
+  }
+
+  void FreeItem(Item* it) {
+    const unsigned cls = ClassOf(sizeof(Item) + it->capacity);
+    *reinterpret_cast<void**>(it) = free_[cls];
+    free_[cls] = it;
+    UTPS_DCHECK(live_items_ > 0);
+    live_items_--;
+  }
+
+  uint64_t live_items() const { return live_items_; }
+
+ private:
+  static constexpr unsigned kNumClasses = 12;  // 32 B .. 64 KB
+
+  static unsigned ClassOf(size_t bytes) {
+    unsigned cls = 0;
+    size_t cap = 32;
+    while (cap < bytes) {
+      cap <<= 1;
+      cls++;
+    }
+    UTPS_CHECK_MSG(cls < kNumClasses, "item too large: %zu bytes", bytes);
+    return cls;
+  }
+
+  static size_t ClassBytes(unsigned cls) { return size_t{32} << cls; }
+
+  sim::Arena* arena_;
+  void* free_[kNumClasses];
+  uint64_t live_items_ = 0;
+};
+
+}  // namespace utps
+
+#endif  // UTPS_STORE_SLAB_H_

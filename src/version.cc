@@ -1,0 +1,5 @@
+// Library identity symbol (the library is otherwise header-heavy; hot-path
+// code is inline by design, cold-path code lives in per-module .cc files).
+namespace utps {
+const char* Version() { return "utps 1.0.0 (SOSP'25 reproduction)"; }
+}  // namespace utps

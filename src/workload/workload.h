@@ -1,0 +1,239 @@
+// Workload synthesis: YCSB mixes (A/B/C/E plus custom 100%-put / 100%-get),
+// Meta ETC pool (published value-size mix), and Twitter cluster traces
+// (synthesized from the per-cluster statistics in the paper's Table 1).
+//
+// Value size is a per-key property (an item is populated once at a size and
+// updated at that size), derived deterministically from the key so clients
+// and the populator agree without coordination.
+#ifndef UTPS_WORKLOAD_WORKLOAD_H_
+#define UTPS_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/macros.h"
+#include "common/rng.h"
+#include "common/zipf.h"
+#include "store/kv.h"
+
+namespace utps {
+
+enum class SizeDist : uint8_t {
+  kFixed = 0,
+  kEtc,  // Meta ETC pool: 1-13 B (40%), 14-300 B (55%), >300 B (5%)
+};
+
+struct WorkloadSpec {
+  std::string name = "ycsb-c";
+  uint64_t num_keys = 10'000'000;
+  double zipf_theta = 0.99;  // <= 0 => uniform
+  // Operation mix; must sum to 1.
+  double get_ratio = 1.0;
+  double put_ratio = 0.0;
+  double scan_ratio = 0.0;
+  // Value sizing.
+  SizeDist size_dist = SizeDist::kFixed;
+  uint32_t value_size = 64;
+  // Scans.
+  uint32_t scan_len_avg = 50;
+
+  static WorkloadSpec YcsbA(uint64_t keys, uint32_t vsize, bool skewed = true);
+  static WorkloadSpec YcsbB(uint64_t keys, uint32_t vsize, bool skewed = true);
+  static WorkloadSpec YcsbC(uint64_t keys, uint32_t vsize, bool skewed = true);
+  static WorkloadSpec YcsbE(uint64_t keys, uint32_t vsize, bool skewed = true);
+  static WorkloadSpec PutOnly(uint64_t keys, uint32_t vsize, bool skewed);
+  static WorkloadSpec GetOnly(uint64_t keys, uint32_t vsize, bool skewed);
+  static WorkloadSpec ScanOnly(uint64_t keys, uint32_t vsize);
+  static WorkloadSpec Etc(uint64_t keys, double get_ratio);
+  // Twitter Table 1 clusters: 12 (put 80%, 1030 B, zipf 0.30),
+  // 19 (put 25%, 101 B, 0.74), 31 (put 94%, 15 B, uniform).
+  static WorkloadSpec TwitterCluster(int cluster);
+};
+
+struct Op {
+  OpType type = OpType::kGet;
+  Key key = 0;
+  uint32_t value_size = 0;  // for puts (and get-response sizing)
+  uint32_t scan_count = 0;  // for scans
+};
+
+// Deterministic per-key value size under a spec.
+inline uint32_t ValueSizeOfKey(const WorkloadSpec& spec, Key key) {
+  if (spec.size_dist == SizeDist::kFixed) {
+    return spec.value_size;
+  }
+  // ETC pool mix. Zipf-within-range approximated by a power-law transform of
+  // a per-key uniform hash (smaller sizes much more likely).
+  const uint64_t h = Mix64(key ^ 0xe7c0ffee12345678ULL);
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  const uint64_t bucket = h % 100;
+  if (bucket < 40) {
+    return 1 + static_cast<uint32_t>(12.0 * u * u);  // 1..13, skewed small
+  }
+  if (bucket < 95) {
+    return 14 + static_cast<uint32_t>(286.0 * u * u);  // 14..300, skewed small
+  }
+  return 301 + static_cast<uint32_t>(723.0 * u);  // 301..1024, uniform
+}
+
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(const WorkloadSpec& spec, uint64_t seed)
+      : spec_(spec), zipf_(spec.num_keys, spec.zipf_theta), rng_(seed) {
+    UTPS_CHECK(spec.num_keys > 0);
+  }
+
+  const WorkloadSpec& spec() const { return spec_; }
+
+  Op Next() {
+    Op op;
+    op.key = zipf_.Next(rng_);
+    const double dice = rng_.NextDouble();
+    if (dice < spec_.get_ratio) {
+      op.type = OpType::kGet;
+      op.value_size = ValueSizeOfKey(spec_, op.key);
+    } else if (dice < spec_.get_ratio + spec_.put_ratio) {
+      op.type = OpType::kPut;
+      op.value_size = ValueSizeOfKey(spec_, op.key);
+    } else {
+      op.type = OpType::kScan;
+      // Uniform in [1, 2*avg] -> mean = avg + 0.5.
+      op.scan_count =
+          1 + static_cast<uint32_t>(rng_.NextBounded(2 * spec_.scan_len_avg));
+      op.value_size = ValueSizeOfKey(spec_, op.key);
+    }
+    return op;
+  }
+
+  // The key a popularity rank maps to (rank 0 = hottest); used by tests and
+  // the motivation experiment's "redirect the hottest keys" setup.
+  Key KeyOfRank(uint64_t rank) const { return zipf_.KeyOfRank(rank); }
+
+ private:
+  WorkloadSpec spec_;
+  ScrambledZipfian zipf_;
+  Rng rng_;
+};
+
+// ------------------------------------------------------- factory functions
+
+inline WorkloadSpec WorkloadSpec::YcsbA(uint64_t keys, uint32_t vsize, bool skewed) {
+  return WorkloadSpec{.name = skewed ? "ycsb-a" : "ycsb-a-uniform",
+                      .num_keys = keys,
+                      .zipf_theta = skewed ? 0.99 : 0.0,
+                      .get_ratio = 0.5,
+                      .put_ratio = 0.5,
+                      .scan_ratio = 0.0,
+                      .value_size = vsize};
+}
+
+inline WorkloadSpec WorkloadSpec::YcsbB(uint64_t keys, uint32_t vsize, bool skewed) {
+  return WorkloadSpec{.name = skewed ? "ycsb-b" : "ycsb-b-uniform",
+                      .num_keys = keys,
+                      .zipf_theta = skewed ? 0.99 : 0.0,
+                      .get_ratio = 0.95,
+                      .put_ratio = 0.05,
+                      .scan_ratio = 0.0,
+                      .value_size = vsize};
+}
+
+inline WorkloadSpec WorkloadSpec::YcsbC(uint64_t keys, uint32_t vsize, bool skewed) {
+  return WorkloadSpec{.name = skewed ? "ycsb-c" : "ycsb-c-uniform",
+                      .num_keys = keys,
+                      .zipf_theta = skewed ? 0.99 : 0.0,
+                      .get_ratio = 1.0,
+                      .put_ratio = 0.0,
+                      .scan_ratio = 0.0,
+                      .value_size = vsize};
+}
+
+inline WorkloadSpec WorkloadSpec::YcsbE(uint64_t keys, uint32_t vsize, bool skewed) {
+  return WorkloadSpec{.name = skewed ? "ycsb-e" : "ycsb-e-uniform",
+                      .num_keys = keys,
+                      .zipf_theta = skewed ? 0.99 : 0.0,
+                      .get_ratio = 0.0,
+                      .put_ratio = 0.05,
+                      .scan_ratio = 0.95,
+                      .value_size = vsize,
+                      .scan_len_avg = 50};
+}
+
+inline WorkloadSpec WorkloadSpec::PutOnly(uint64_t keys, uint32_t vsize,
+                                          bool skewed) {
+  return WorkloadSpec{.name = skewed ? "put-skew" : "put-uniform",
+                      .num_keys = keys,
+                      .zipf_theta = skewed ? 0.99 : 0.0,
+                      .get_ratio = 0.0,
+                      .put_ratio = 1.0,
+                      .scan_ratio = 0.0,
+                      .value_size = vsize};
+}
+
+inline WorkloadSpec WorkloadSpec::GetOnly(uint64_t keys, uint32_t vsize,
+                                          bool skewed) {
+  return WorkloadSpec{.name = skewed ? "get-skew" : "get-uniform",
+                      .num_keys = keys,
+                      .zipf_theta = skewed ? 0.99 : 0.0,
+                      .get_ratio = 1.0,
+                      .put_ratio = 0.0,
+                      .scan_ratio = 0.0,
+                      .value_size = vsize};
+}
+
+inline WorkloadSpec WorkloadSpec::ScanOnly(uint64_t keys, uint32_t vsize) {
+  return WorkloadSpec{.name = "scan-only",
+                      .num_keys = keys,
+                      .zipf_theta = 0.99,
+                      .get_ratio = 0.0,
+                      .put_ratio = 0.0,
+                      .scan_ratio = 1.0,
+                      .value_size = vsize,
+                      .scan_len_avg = 50};
+}
+
+inline WorkloadSpec WorkloadSpec::Etc(uint64_t keys, double get_ratio) {
+  return WorkloadSpec{.name = "etc",
+                      .num_keys = keys,
+                      .zipf_theta = 0.99,
+                      .get_ratio = get_ratio,
+                      .put_ratio = 1.0 - get_ratio,
+                      .scan_ratio = 0.0,
+                      .size_dist = SizeDist::kEtc,
+                      .value_size = 0};
+}
+
+inline WorkloadSpec WorkloadSpec::TwitterCluster(int cluster) {
+  switch (cluster) {
+    case 12:
+      return WorkloadSpec{.name = "twitter-c12",
+                          .num_keys = 10'000'000,
+                          .zipf_theta = 0.30,
+                          .get_ratio = 0.20,
+                          .put_ratio = 0.80,
+                          .scan_ratio = 0.0,
+                          .value_size = 1030};
+    case 19:
+      return WorkloadSpec{.name = "twitter-c19",
+                          .num_keys = 10'000'000,
+                          .zipf_theta = 0.74,
+                          .get_ratio = 0.75,
+                          .put_ratio = 0.25,
+                          .scan_ratio = 0.0,
+                          .value_size = 101};
+    case 31:
+      return WorkloadSpec{.name = "twitter-c31",
+                          .num_keys = 10'000'000,
+                          .zipf_theta = 0.0,
+                          .get_ratio = 0.06,
+                          .put_ratio = 0.94,
+                          .scan_ratio = 0.0,
+                          .value_size = 15};
+    default:
+      UTPS_CHECK_MSG(false, "unknown Twitter cluster %d", cluster);
+      return WorkloadSpec{};
+  }
+}
+
+}  // namespace utps
+
+#endif  // UTPS_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,178 @@
+// Tests for the hot-set machinery: count-min sketch accuracy, top-K
+// tracking, sample rings, hot structures, and the epoch switch protocol.
+#include <gtest/gtest.h>
+
+#include "common/zipf.h"
+#include "hotset/hotset.h"
+#include "hotset/sketch.h"
+#include "hotset/topk.h"
+#include "sim/arena.h"
+#include "store/slab.h"
+
+namespace utps {
+namespace {
+
+TEST(CountMinSketch, NeverUnderestimates) {
+  CountMinSketch sketch(1 << 10, 4);
+  Rng rng(1);
+  std::map<Key, uint32_t> truth;
+  for (int i = 0; i < 20000; i++) {
+    const Key k = rng.NextBounded(500);
+    sketch.Add(k);
+    truth[k]++;
+  }
+  for (const auto& [k, c] : truth) {
+    EXPECT_GE(sketch.Estimate(k), c);
+  }
+}
+
+TEST(CountMinSketch, HotKeysEstimatedAccurately) {
+  CountMinSketch sketch;
+  for (int i = 0; i < 10000; i++) {
+    sketch.Add(42);
+  }
+  for (Key k = 100; k < 1100; k++) {
+    sketch.Add(k);
+  }
+  // The hot key dominates; overestimation from collisions is bounded.
+  EXPECT_GE(sketch.Estimate(42), 10000u);
+  EXPECT_LE(sketch.Estimate(42), 10200u);
+}
+
+TEST(TopK, KeepsHighestFrequencies) {
+  TopK topk(10);
+  for (uint32_t i = 0; i < 1000; i++) {
+    topk.Offer(i, i);
+  }
+  const std::vector<Key> out = topk.Extract();
+  ASSERT_EQ(out.size(), 10u);
+  for (size_t i = 0; i < out.size(); i++) {
+    EXPECT_EQ(out[i], 999u - i);  // descending frequency order
+  }
+}
+
+TEST(TopK, UpdatesExistingKeys) {
+  TopK topk(3);
+  topk.Offer(1, 10);
+  topk.Offer(2, 20);
+  topk.Offer(3, 30);
+  topk.Offer(1, 100);  // key 1 becomes hottest
+  const std::vector<Key> out = topk.Extract();
+  EXPECT_EQ(out[0], 1u);
+  EXPECT_EQ(topk.Size(), 3u);
+}
+
+TEST(SampleRing, DrainsRecentSamples) {
+  SampleRing ring;
+  for (Key k = 0; k < 100; k++) {
+    ring.Push(k);
+  }
+  Key buf[SampleRing::kCapacity];
+  const uint32_t n = ring.Drain(buf, SampleRing::kCapacity);
+  ASSERT_EQ(n, 100u);
+  EXPECT_EQ(buf[0], 0u);
+  EXPECT_EQ(buf[99], 99u);
+  EXPECT_EQ(ring.Drain(buf, SampleRing::kCapacity), 0u);  // drained
+}
+
+TEST(SampleRing, OverwritesOldestWhenFull) {
+  SampleRing ring;
+  for (Key k = 0; k < SampleRing::kCapacity + 500; k++) {
+    ring.Push(k);
+  }
+  Key buf[SampleRing::kCapacity];
+  const uint32_t n = ring.Drain(buf, SampleRing::kCapacity);
+  ASSERT_EQ(n, SampleRing::kCapacity);
+  EXPECT_EQ(buf[0], 500u);  // oldest surviving sample
+}
+
+class HotSetManagerTest : public ::testing::Test {
+ protected:
+  HotSetManagerTest() : arena_(64 << 20), slab_(&arena_), mgr_(&arena_, 4) {}
+
+  Item* MakeItem(Key k) {
+    Item* it = slab_.AllocateItem(k, 8);
+    it->value_len = 8;
+    items_[k] = it;
+    return it;
+  }
+
+  sim::Arena arena_;
+  SlabAllocator slab_;
+  HotSetManager mgr_;
+  std::map<Key, Item*> items_;
+};
+
+TEST_F(HotSetManagerTest, BuildsHotArrayFromSkewedSamples) {
+  ZipfianGenerator zipf(10000, 0.99);
+  Rng rng(5);
+  for (int i = 0; i < 30000; i++) {
+    const Key k = zipf.Next(rng);
+    MakeItem(k);
+    mgr_.Ring(i % 4).Push(k);
+    if (i % 4000 == 3999) {
+      mgr_.DrainSamples();
+    }
+  }
+  mgr_.DrainSamples();
+  mgr_.BuildAndPublish(100, [&](Key k) {
+    auto it = items_.find(k);
+    return it == items_.end() ? nullptr : it->second;
+  });
+  EXPECT_EQ(mgr_.epoch(), 1u);
+  const HotArray* ha = mgr_.ActiveArray();
+  EXPECT_GT(ha->count, 50u);
+  EXPECT_LE(ha->count, 100u);
+  // The hottest key (rank 0) must be in the hot set.
+  EXPECT_NE(ha->FindDirect(0), nullptr);
+  // Sorted order.
+  for (uint32_t i = 1; i < ha->count; i++) {
+    EXPECT_LT(ha->entries[i - 1].key, ha->entries[i].key);
+  }
+  // Filter agrees with the array.
+  const HotFilter* hf = mgr_.ActiveFilter();
+  for (uint32_t i = 0; i < ha->count; i++) {
+    EXPECT_TRUE(hf->ContainsDirect(ha->entries[i].key));
+  }
+  EXPECT_FALSE(hf->ContainsDirect(999999));
+}
+
+TEST_F(HotSetManagerTest, EpochSwitchIsDoubleBuffered) {
+  MakeItem(1);
+  MakeItem(2);
+  mgr_.Ring(0).Push(1);
+  mgr_.DrainSamples();
+  mgr_.BuildAndPublish(10, [&](Key k) { return items_.count(k) ? items_[k] : nullptr; });
+  const HotArray* first = mgr_.ActiveArray();
+  for (unsigned w = 0; w < 4; w++) {
+    mgr_.AckEpoch(w, mgr_.epoch());
+  }
+  EXPECT_TRUE(mgr_.AllWorkersAt(mgr_.epoch()));
+  mgr_.Ring(0).Push(2);
+  mgr_.DrainSamples();
+  mgr_.BuildAndPublish(10, [&](Key k) { return items_.count(k) ? items_[k] : nullptr; });
+  EXPECT_NE(mgr_.ActiveArray(), first);  // flipped to the other buffer
+  EXPECT_FALSE(mgr_.AllWorkersAt(mgr_.epoch()));
+}
+
+TEST_F(HotSetManagerTest, ZeroCacheSizePublishesEmptySet) {
+  MakeItem(1);
+  mgr_.Ring(0).Push(1);
+  mgr_.DrainSamples();
+  mgr_.BuildAndPublish(0, [&](Key k) { return items_.count(k) ? items_[k] : nullptr; });
+  EXPECT_EQ(mgr_.ActiveArray()->count, 0u);
+  EXPECT_EQ(mgr_.ActiveFilter()->count, 0u);
+}
+
+TEST_F(HotSetManagerTest, StaleKeysAreSkipped) {
+  MakeItem(7);
+  mgr_.Ring(0).Push(7);
+  mgr_.Ring(0).Push(8);  // never resolves to an item
+  mgr_.DrainSamples();
+  mgr_.BuildAndPublish(10, [&](Key k) { return items_.count(k) ? items_[k] : nullptr; });
+  EXPECT_EQ(mgr_.ActiveArray()->count, 1u);
+  EXPECT_EQ(mgr_.ActiveArray()->entries[0].key, 7u);
+}
+
+}  // namespace
+}  // namespace utps

@@ -1,0 +1,325 @@
+// Tests for the cuckoo hash table and the B-link B+-tree: host-plane
+// correctness at scale, simulated-plane correctness, and concurrent
+// reader/writer interleavings under the simulator.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "index/btree.h"
+#include "index/cuckoo.h"
+#include "sim/arena.h"
+#include "sim/engine.h"
+#include "store/slab.h"
+
+namespace utps {
+namespace {
+
+using sim::Arena;
+using sim::Engine;
+using sim::ExecCtx;
+using sim::Fiber;
+using sim::kSec;
+using sim::MachineConfig;
+using sim::MemoryModel;
+
+class IndexFixture : public ::testing::TestWithParam<IndexType> {
+ protected:
+  IndexFixture() : arena_(512ull << 20), slab_(&arena_) {
+    MachineConfig cfg;
+    cfg.num_cores = 8;
+    mem_ = std::make_unique<MemoryModel>(cfg);
+    if (GetParam() == IndexType::kHash) {
+      index_ = std::make_unique<CuckooIndex>(&arena_, 200000);
+    } else {
+      index_ = std::make_unique<BTreeIndex>(&arena_);
+    }
+  }
+
+  Item* MakeItem(Key k, uint64_t payload) {
+    Item* it = slab_.AllocateItem(k, 8);
+    ItemWriteDirect(it, &payload, 8);
+    return it;
+  }
+
+  Arena arena_;
+  SlabAllocator slab_;
+  std::unique_ptr<MemoryModel> mem_;
+  std::unique_ptr<KvIndex> index_;
+};
+
+TEST_P(IndexFixture, DirectInsertGetErase) {
+  Rng rng(7);
+  std::map<Key, Item*> model;
+  for (int i = 0; i < 50000; i++) {
+    const Key k = rng.NextBounded(1u << 20);
+    if (model.count(k)) {
+      EXPECT_FALSE(index_->InsertDirect(k, nullptr)) << k;
+    } else {
+      Item* it = MakeItem(k, k * 3);
+      ASSERT_TRUE(index_->InsertDirect(k, it));
+      model[k] = it;
+    }
+  }
+  EXPECT_EQ(index_->SizeDirect(), model.size());
+  for (const auto& [k, it] : model) {
+    EXPECT_EQ(index_->GetDirect(k), it);
+  }
+  // Erase half.
+  size_t i = 0;
+  for (const auto& [k, it] : model) {
+    if (i++ % 2 == 0) {
+      EXPECT_TRUE(index_->EraseDirect(k));
+      EXPECT_EQ(index_->GetDirect(k), nullptr);
+    }
+  }
+  EXPECT_FALSE(index_->EraseDirect(1 << 21));  // never inserted
+}
+
+Fiber GetterFiber(ExecCtx* ctx, KvIndex* idx, std::vector<Key> keys,
+                  std::vector<Item*>* out) {
+  for (Key k : keys) {
+    Item* it = co_await idx->CoGet(*ctx, k);
+    out->push_back(it);
+  }
+}
+
+TEST_P(IndexFixture, SimulatedGetMatchesDirect) {
+  std::vector<Key> keys;
+  for (Key k = 0; k < 20000; k++) {
+    ASSERT_TRUE(index_->InsertDirect(k * 7, MakeItem(k * 7, k)));
+    keys.push_back(k * 7);
+  }
+  keys.push_back(999999999);  // absent
+  Engine eng;
+  ExecCtx ctx{.eng = &eng, .mem = mem_.get(), .core = 0};
+  std::vector<Item*> results;
+  std::vector<Key> probe(keys.begin(), keys.begin() + 100);
+  probe.push_back(999999999);
+  eng.Spawn(GetterFiber(&ctx, index_.get(), probe, &results));
+  eng.RunToQuiescence(kSec);
+  ASSERT_EQ(results.size(), probe.size());
+  for (size_t i = 0; i + 1 < results.size(); i++) {
+    ASSERT_NE(results[i], nullptr);
+    EXPECT_EQ(results[i]->key, probe[i]);
+  }
+  EXPECT_EQ(results.back(), nullptr);
+}
+
+Fiber InserterFiber(ExecCtx* ctx, KvIndex* idx, SlabAllocator* slab, Key base,
+                    int n, int* inserted) {
+  for (int i = 0; i < n; i++) {
+    const Key k = base + static_cast<Key>(i);
+    Item* it = slab->AllocateItem(k, 8);
+    const uint64_t v = k;
+    ItemWriteDirect(it, &v, 8);
+    const bool ok = co_await idx->CoInsert(*ctx, k, it);
+    if (ok) {
+      (*inserted)++;
+    }
+    co_await ctx->Yield();
+  }
+}
+
+TEST_P(IndexFixture, ConcurrentSimulatedInserts) {
+  Engine eng;
+  constexpr int kThreads = 6;
+  constexpr int kPerThread = 3000;
+  ExecCtx ctxs[kThreads];
+  int inserted[kThreads] = {};
+  for (int t = 0; t < kThreads; t++) {
+    ctxs[t] = ExecCtx{.eng = &eng, .mem = mem_.get(), .core = static_cast<sim::CoreId>(t)};
+    // Overlapping ranges: half the keys collide across threads.
+    eng.Spawn(InserterFiber(&ctxs[t], index_.get(), &slab_,
+                            static_cast<Key>(t) * kPerThread / 2, kPerThread,
+                            &inserted[t]));
+  }
+  eng.RunToQuiescence(100 * kSec);
+  int total = 0;
+  for (int t = 0; t < kThreads; t++) {
+    total += inserted[t];
+  }
+  // Every distinct key must be present exactly once.
+  const Key max_key = (kThreads - 1) * kPerThread / 2 + kPerThread;
+  int present = 0;
+  for (Key k = 0; k < max_key; k++) {
+    Item* it = index_->GetDirect(k);
+    if (it != nullptr) {
+      present++;
+      EXPECT_EQ(it->key, k);
+    }
+  }
+  EXPECT_EQ(present, total);
+  EXPECT_EQ(static_cast<uint64_t>(total), index_->SizeDirect());
+  EXPECT_EQ(present, static_cast<int>(max_key));  // all keys covered
+}
+
+Fiber MixedFiber(ExecCtx* ctx, KvIndex* idx, SlabAllocator* slab, uint64_t seed,
+                 int ops, int key_space, int* errors) {
+  Rng rng(seed);
+  for (int i = 0; i < ops; i++) {
+    const Key k = rng.NextBounded(key_space);
+    const uint64_t dice = rng.NextBounded(100);
+    if (dice < 40) {
+      Item* it = co_await idx->CoGet(*ctx, k);
+      if (it != nullptr && it->key != k) {
+        (*errors)++;
+      }
+    } else if (dice < 80) {
+      Item* it = slab->AllocateItem(k, 8);
+      const uint64_t v = k;
+      ItemWriteDirect(it, &v, 8);
+      const bool ok = co_await idx->CoInsert(*ctx, k, it);
+      if (!ok) {
+        slab->FreeItem(it);
+      }
+    } else {
+      co_await idx->CoErase(*ctx, k);
+    }
+    co_await ctx->Yield();
+  }
+}
+
+TEST_P(IndexFixture, ConcurrentMixedWorkloadInvariants) {
+  Engine eng;
+  constexpr int kThreads = 8;
+  ExecCtx ctxs[kThreads];
+  int errors = 0;
+  for (int t = 0; t < kThreads; t++) {
+    ctxs[t] = ExecCtx{.eng = &eng, .mem = mem_.get(), .core = static_cast<sim::CoreId>(t)};
+    eng.Spawn(MixedFiber(&ctxs[t], index_.get(), &slab_, 1000 + t, 4000, 500,
+                         &errors));
+  }
+  eng.RunToQuiescence(100 * kSec);
+  EXPECT_EQ(errors, 0);
+  // Post-condition: every key resolvable via the direct plane maps to an item
+  // with a matching embedded key.
+  uint64_t found = 0;
+  for (Key k = 0; k < 500; k++) {
+    Item* it = index_->GetDirect(k);
+    if (it != nullptr) {
+      EXPECT_EQ(it->key, k);
+      found++;
+    }
+  }
+  EXPECT_EQ(found, index_->SizeDirect());
+}
+
+INSTANTIATE_TEST_SUITE_P(BothIndexes, IndexFixture,
+                         ::testing::Values(IndexType::kHash, IndexType::kTree),
+                         [](const auto& info) {
+                           return info.param == IndexType::kHash ? "Cuckoo"
+                                                                 : "BTree";
+                         });
+
+// ----------------------------------------------------------- tree-specific
+
+class BTreeTest : public ::testing::Test {
+ protected:
+  BTreeTest() : arena_(256ull << 20), slab_(&arena_), tree_(&arena_) {
+    MachineConfig cfg;
+    cfg.num_cores = 8;
+    mem_ = std::make_unique<MemoryModel>(cfg);
+  }
+
+  Item* MakeItem(Key k) {
+    Item* it = slab_.AllocateItem(k, 8);
+    const uint64_t v = k * 11;
+    ItemWriteDirect(it, &v, 8);
+    return it;
+  }
+
+  Arena arena_;
+  SlabAllocator slab_;
+  BTreeIndex tree_;
+  std::unique_ptr<MemoryModel> mem_;
+};
+
+TEST_F(BTreeTest, BulkLoadMatchesInsertSemantics) {
+  std::vector<std::pair<Key, Item*>> sorted;
+  for (Key k = 0; k < 100000; k++) {
+    sorted.emplace_back(k * 3, MakeItem(k * 3));
+  }
+  tree_.BulkLoadDirect(sorted);
+  EXPECT_EQ(tree_.SizeDirect(), sorted.size());
+  for (const auto& [k, it] : sorted) {
+    ASSERT_EQ(tree_.GetDirect(k), it);
+  }
+  EXPECT_EQ(tree_.GetDirect(1), nullptr);
+  EXPECT_GE(tree_.height(), 4u);
+}
+
+TEST_F(BTreeTest, ScanDirectReturnsSortedRange) {
+  std::vector<std::pair<Key, Item*>> sorted;
+  for (Key k = 100; k < 5000; k += 2) {
+    sorted.emplace_back(k, MakeItem(k));
+  }
+  tree_.BulkLoadDirect(sorted);
+  Item* out[100];
+  const uint32_t n = tree_.ScanDirect(200, 400, 100, out);
+  // Keys 200, 202, ..., 400 are 101 matches; capped at max = 100.
+  EXPECT_EQ(n, 100u);
+  for (uint32_t i = 0; i < n; i++) {
+    EXPECT_EQ(out[i]->key, 200u + 2 * i);
+  }
+}
+
+Fiber ScanFiber(ExecCtx* ctx, BTreeIndex* tree, Key lo, Key hi, uint32_t max,
+                std::vector<Key>* out) {
+  std::vector<Item*> items(max);
+  const uint32_t n = co_await tree->CoScan(*ctx, lo, hi, max, items.data());
+  for (uint32_t i = 0; i < n; i++) {
+    out->push_back(items[i]->key);
+  }
+}
+
+TEST_F(BTreeTest, SimulatedScan) {
+  std::vector<std::pair<Key, Item*>> sorted;
+  for (Key k = 0; k < 10000; k++) {
+    sorted.emplace_back(k, MakeItem(k));
+  }
+  tree_.BulkLoadDirect(sorted);
+  Engine eng;
+  ExecCtx ctx{.eng = &eng, .mem = mem_.get(), .core = 0};
+  std::vector<Key> out;
+  eng.Spawn(ScanFiber(&ctx, &tree_, 5000, 5049, 64, &out));
+  eng.RunToQuiescence(kSec);
+  ASSERT_EQ(out.size(), 50u);
+  for (uint32_t i = 0; i < 50; i++) {
+    EXPECT_EQ(out[i], 5000u + i);
+  }
+}
+
+TEST_F(BTreeTest, InsertDirectRandomOrder) {
+  Rng rng(3);
+  std::vector<Key> keys;
+  for (int i = 0; i < 30000; i++) {
+    keys.push_back(rng.Next());
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  // Shuffle.
+  for (size_t i = keys.size(); i > 1; i--) {
+    std::swap(keys[i - 1], keys[rng.NextBounded(i)]);
+  }
+  for (Key k : keys) {
+    ASSERT_TRUE(tree_.InsertDirect(k, MakeItem(k)));
+  }
+  std::sort(keys.begin(), keys.end());
+  for (Key k : keys) {
+    ASSERT_NE(tree_.GetDirect(k), nullptr);
+  }
+  // Scan order equals sorted order.
+  std::vector<Item*> out(keys.size());
+  const uint32_t n =
+      tree_.ScanDirect(0, UINT64_MAX, static_cast<uint32_t>(keys.size()), out.data());
+  ASSERT_EQ(n, keys.size());
+  for (size_t i = 0; i < keys.size(); i++) {
+    EXPECT_EQ(out[i]->key, keys[i]);
+  }
+}
+
+}  // namespace
+}  // namespace utps

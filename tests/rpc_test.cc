@@ -1,0 +1,217 @@
+// Tests for the NIC model and the reconfigurable RPC receive ring: slot
+// filling/closing, MP-RQ batching, timeout close, claim/complete recycling,
+// backpressure, link serialization, and one-sided verbs.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "net/rpc.h"
+#include "sim/arena.h"
+#include "sim/engine.h"
+
+namespace utps {
+namespace {
+
+using sim::Engine;
+using sim::ExecCtx;
+using sim::Fiber;
+using sim::kMsec;
+using sim::kUsec;
+using sim::Nic;
+using sim::NicConfig;
+using sim::NicMessage;
+
+class RpcTest : public ::testing::Test {
+ protected:
+  RpcTest() : arena_(64 << 20), nic_(&eng_, nullptr, NicConfig{}, 1) {}
+
+  NicMessage Req(Key key, OpType op = OpType::kGet, uint32_t len = 8) {
+    return EncodeRequest(op, key, len, 0, 0);
+  }
+
+  Engine eng_;
+  sim::Arena arena_;
+  Nic nic_;
+};
+
+TEST_F(RpcTest, LinkSerializerEnforcesMessageRate) {
+  sim::LinkSerializer link(/*mops=*/100.0, /*gbps=*/200.0);
+  // 100 M msg/s => 10 ns per small message.
+  sim::Tick last = 0;
+  for (int i = 0; i < 100; i++) {
+    last = link.Depart(0, 64);
+  }
+  EXPECT_NEAR(static_cast<double>(last), 990.0, 20.0);
+}
+
+TEST_F(RpcTest, LinkSerializerEnforcesByteRate) {
+  sim::LinkSerializer link(/*mops=*/1000.0, /*gbps=*/200.0);
+  // 200 Gb/s = 25 GB/s => 1 KB costs 40 ns.
+  sim::Tick last = 0;
+  for (int i = 0; i < 10; i++) {
+    last = link.Depart(0, 1000);
+  }
+  EXPECT_NEAR(static_cast<double>(last), 360.0, 10.0);
+}
+
+TEST_F(RpcTest, SlotClosesAtMaxBatch) {
+  RxRing::Config cfg;
+  cfg.max_batch = 4;
+  RxRing rx(&arena_, cfg);
+  ExecCtx cli{.eng = &eng_};
+  for (int i = 0; i < 4; i++) {
+    nic_.ClientSend(cli, 0, Req(i));
+  }
+  rx.Advance(nic_, 0, 10 * kUsec);
+  EXPECT_EQ(rx.fill_seq(), 1u);  // slot 0 closed with 4 requests
+  EXPECT_TRUE(rx.IsClosed(0));
+  EXPECT_EQ(rx.Header(0)->nreq, 4u);
+  for (int i = 0; i < 4; i++) {
+    EXPECT_EQ(rx.Records(0)[i].key, static_cast<Key>(i));
+  }
+}
+
+TEST_F(RpcTest, PartialSlotClosesOnTimeout) {
+  RxRing::Config cfg;
+  cfg.max_batch = 8;
+  cfg.close_timeout_ns = 1000;
+  RxRing rx(&arena_, cfg);
+  ExecCtx cli{.eng = &eng_};
+  nic_.ClientSend(cli, 0, Req(5));
+  rx.Advance(nic_, 0, 3 * kUsec);  // arrival (~1us) + timeout elapsed
+  EXPECT_TRUE(rx.IsClosed(0));
+  EXPECT_EQ(rx.Header(0)->nreq, 1u);
+}
+
+TEST_F(RpcTest, PutPayloadLandsInSlotData) {
+  RxRing rx(&arena_, RxRing::Config{});
+  ExecCtx cli{.eng = &eng_};
+  uint8_t payload[64];
+  std::memset(payload, 0xab, sizeof(payload));
+  NicMessage m = Req(9, OpType::kPut, 64);
+  m.payload = payload;
+  m.payload_len = 64;
+  nic_.ClientSend(cli, 0, m);
+  rx.Advance(nic_, 0, 10 * kUsec);
+  const RxRecord& rec = rx.Records(0)[0];
+  EXPECT_EQ(rec.op(), OpType::kPut);
+  EXPECT_EQ(rec.value_len(), 64u);
+  EXPECT_EQ(rx.Data(0)[rec.payload_off], 0xab);
+}
+
+TEST_F(RpcTest, SlotRecyclingAfterCompleteOne) {
+  RxRing::Config cfg;
+  cfg.num_slots = 2;
+  cfg.max_batch = 2;
+  RxRing rx(&arena_, cfg);
+  ExecCtx cli{.eng = &eng_};
+  // Fill both physical slots.
+  for (int i = 0; i < 4; i++) {
+    nic_.ClientSend(cli, 0, Req(i));
+  }
+  rx.Advance(nic_, 0, 10 * kUsec);
+  EXPECT_EQ(rx.fill_seq(), 2u);
+  // A fifth message has nowhere to go: backpressure.
+  nic_.ClientSend(cli, 0, Req(4));
+  EXPECT_FALSE(rx.Advance(nic_, 0, 20 * kUsec));
+  EXPECT_TRUE(rx.HasStash());
+  // Claim slot 0, complete its requests: physical slot is recycled and the
+  // stashed message is placed on the next Advance.
+  rx.Claim(0);
+  rx.CompleteOne(0);
+  rx.CompleteOne(0);
+  EXPECT_TRUE(rx.Advance(nic_, 0, 30 * kUsec));
+  // The stashed message landed in slot seq 2 (physical slot 0), which then
+  // closed on timeout.
+  EXPECT_EQ(rx.Header(2)->nreq, 1u);
+  EXPECT_TRUE(rx.IsClosed(2));
+}
+
+TEST_F(RpcTest, RecordPacksOpAndLength) {
+  EXPECT_EQ(RxRecord::PackOpLen(OpType::kScan, 12345) >> 28,
+            static_cast<uint32_t>(OpType::kScan));
+  EXPECT_EQ(RxRecord::PackOpLen(OpType::kScan, 12345) & 0x0fffffffu, 12345u);
+}
+
+// ------------------------------------------------------- one-sided verbs
+
+Fiber VerbFiber(ExecCtx* ctx, Nic* nic, uint64_t* server_word, bool* done,
+                sim::Tick* read_latency) {
+  uint64_t local = 0;
+  const sim::Tick t0 = ctx->Now();
+  co_await nic->ReadVerb(*ctx, &local, server_word, 8);
+  *read_latency = ctx->Now() - t0;
+  EXPECT_EQ(local, 0xdeadbeefULL);
+  // CAS succeeds with the right expected value.
+  uint64_t old = co_await nic->CasVerb(*ctx, server_word, 0xdeadbeefULL, 7);
+  EXPECT_EQ(old, 0xdeadbeefULL);
+  EXPECT_EQ(*server_word, 7u);
+  // CAS fails with a stale expected value.
+  old = co_await nic->CasVerb(*ctx, server_word, 0xdeadbeefULL, 9);
+  EXPECT_EQ(old, 7u);
+  EXPECT_EQ(*server_word, 7u);
+  const uint64_t v = 42;
+  co_await nic->WriteVerb(*ctx, server_word, &v, 8);
+  EXPECT_EQ(*server_word, 42u);
+  *done = true;
+}
+
+TEST_F(RpcTest, OneSidedVerbsRoundTrip) {
+  uint64_t* word = arena_.AllocateArray<uint64_t>(1);
+  *word = 0xdeadbeefULL;
+  ExecCtx cli{.eng = &eng_};
+  bool done = false;
+  sim::Tick read_lat = 0;
+  eng_.Spawn(VerbFiber(&cli, &nic_, word, &done, &read_lat));
+  eng_.RunToQuiescence(kMsec);
+  EXPECT_TRUE(done);
+  // A read verb costs at least one RTT.
+  EXPECT_GE(read_lat, NicConfig{}.rtt_ns);
+  EXPECT_LE(read_lat, NicConfig{}.rtt_ns + 500);
+}
+
+// Client completion delivery timing through ServerSend.
+Fiber PingClient(ExecCtx* ctx, Nic* nic, sim::Tick* latency, bool* done) {
+  sim::OneShot os;
+  NicMessage m = EncodeRequest(OpType::kGet, 1, 8, 0, 0);
+  m.completion = &os;
+  const sim::Tick t0 = ctx->Now();
+  nic->ClientSend(*ctx, 0, m);
+  co_await os.Wait(*ctx);
+  *latency = ctx->Now() - t0;
+  *done = true;
+}
+
+Fiber PongServer(ExecCtx* ctx, Nic* nic, RxRing* rx, bool* stop) {
+  while (!*stop) {
+    rx->Advance(*nic, 0, ctx->eng->now());
+    if (rx->IsClosed(0)) {
+      rx->Claim(0);
+      nic->ServerSend(*ctx, rx->Msgs(0)[0], nullptr, 8);
+      rx->CompleteOne(0);
+      co_return;
+    }
+    co_await ctx->Yield();
+  }
+}
+
+TEST_F(RpcTest, EndToEndLatencyIsAtLeastOneRtt) {
+  RxRing::Config cfg;
+  cfg.max_batch = 1;
+  RxRing rx(&arena_, cfg);
+  ExecCtx cli{.eng = &eng_};
+  ExecCtx srv{.eng = &eng_};
+  sim::Tick latency = 0;
+  bool done = false;
+  bool stop = false;
+  eng_.Spawn(PingClient(&cli, &nic_, &latency, &done));
+  eng_.Spawn(PongServer(&srv, &nic_, &rx, &stop));
+  eng_.Run(kMsec);
+  stop = true;
+  eng_.Run(eng_.now() + kUsec);
+  EXPECT_TRUE(done);
+  EXPECT_GE(latency, NicConfig{}.rtt_ns);
+}
+
+}  // namespace
+}  // namespace utps

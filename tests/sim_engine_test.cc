@@ -1,0 +1,192 @@
+// Tests for the discrete-event engine, coroutine task types, ExecCtx
+// awaitables, and synchronization primitives.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/exec.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace utps::sim {
+namespace {
+
+Fiber DelayFiber(ExecCtx* ctx, std::vector<Tick>* log) {
+  co_await ctx->Delay(10);
+  log->push_back(ctx->eng->now());
+  co_await ctx->Delay(25);
+  log->push_back(ctx->eng->now());
+}
+
+TEST(Engine, DelayAdvancesVirtualTime) {
+  Engine eng;
+  ExecCtx ctx{.eng = &eng};
+  std::vector<Tick> log;
+  eng.Spawn(DelayFiber(&ctx, &log));
+  eng.RunToQuiescence(kSec);
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0], 10u);
+  EXPECT_EQ(log[1], 35u);
+  EXPECT_EQ(eng.live_fibers(), 0u);
+}
+
+Fiber ChargeFiber(ExecCtx* ctx, Tick* done_at) {
+  ctx->Charge(7);
+  ctx->Charge(3);
+  co_await ctx->Yield();  // flushes pending
+  *done_at = ctx->eng->now();
+}
+
+TEST(Engine, ChargeAccumulatesIntoNextSuspension) {
+  Engine eng;
+  ExecCtx ctx{.eng = &eng};
+  Tick done_at = 0;
+  eng.Spawn(ChargeFiber(&ctx, &done_at));
+  eng.RunToQuiescence(kSec);
+  EXPECT_EQ(done_at, 10u);
+}
+
+Task<int> NestedAdd(ExecCtx* ctx, int a, int b) {
+  co_await ctx->Delay(5);
+  co_return a + b;
+}
+
+Task<int> NestedOuter(ExecCtx* ctx) {
+  int x = co_await NestedAdd(ctx, 1, 2);
+  int y = co_await NestedAdd(ctx, x, 10);
+  co_return y;
+}
+
+Fiber NestedFiber(ExecCtx* ctx, int* out, Tick* at) {
+  *out = co_await NestedOuter(ctx);
+  *at = ctx->eng->now();
+}
+
+TEST(Engine, NestedTasksReturnValuesAndAccumulateTime) {
+  Engine eng;
+  ExecCtx ctx{.eng = &eng};
+  int out = 0;
+  Tick at = 0;
+  eng.Spawn(NestedFiber(&ctx, &out, &at));
+  eng.RunToQuiescence(kSec);
+  EXPECT_EQ(out, 13);
+  EXPECT_EQ(at, 10u);
+}
+
+// Two fibers interleave deterministically in timestamp order.
+Fiber Ticker(ExecCtx* ctx, Tick period, char tag, std::vector<char>* order) {
+  for (int i = 0; i < 3; i++) {
+    co_await ctx->Delay(period);
+    order->push_back(tag);
+  }
+}
+
+TEST(Engine, DeterministicInterleaving) {
+  Engine eng;
+  ExecCtx a{.eng = &eng};
+  ExecCtx b{.eng = &eng};
+  std::vector<char> order;
+  eng.Spawn(Ticker(&a, 10, 'a', &order));
+  eng.Spawn(Ticker(&b, 15, 'b', &order));
+  eng.RunToQuiescence(kSec);
+  // a: 10,20,30  b: 15,30,45. At t=30, 'b' scheduled its event first (at
+  // t=15, before 'a' scheduled its own at t=20), so FIFO seq puts b first.
+  EXPECT_EQ((std::vector<char>{'a', 'b', 'a', 'b', 'a', 'b'}), order);
+}
+
+TEST(Engine, RunStopsAtLimitAndResumes) {
+  Engine eng;
+  ExecCtx ctx{.eng = &eng};
+  std::vector<Tick> log;
+  eng.Spawn(DelayFiber(&ctx, &log));
+  eng.Run(12);
+  EXPECT_EQ(log.size(), 1u);
+  EXPECT_EQ(eng.now(), 12u);
+  eng.Run(1000);
+  EXPECT_EQ(log.size(), 2u);
+}
+
+// Teardown of blocked fibers must not leak or crash.
+Fiber BlockedForever(ExecCtx* ctx, WaitQueue* wq, bool* destroyed) {
+  struct Sentinel {
+    bool* flag;
+    ~Sentinel() { *flag = true; }
+  } sentinel{destroyed};
+  co_await wq->Wait(*ctx);
+}
+
+TEST(Engine, TeardownDestroysBlockedFibers) {
+  bool destroyed = false;
+  {
+    Engine eng;
+    ExecCtx ctx{.eng = &eng};
+    WaitQueue wq;
+    eng.Spawn(BlockedForever(&ctx, &wq, &destroyed));
+    eng.Run(100);
+    EXPECT_FALSE(destroyed);
+  }
+  EXPECT_TRUE(destroyed);
+}
+
+// --------------------------------------------------------------- spinlock
+Fiber LockUser(ExecCtx* ctx, SimSpinlock* lock, int* shared, int iters,
+               Tick hold_ns) {
+  for (int i = 0; i < iters; i++) {
+    co_await lock->Acquire(*ctx);
+    const int v = *shared;
+    co_await ctx->Delay(hold_ns);
+    *shared = v + 1;
+    lock->Release(*ctx);
+    co_await ctx->Yield();
+  }
+}
+
+TEST(Sync, SpinlockSerializesCriticalSections) {
+  Engine eng;
+  ExecCtx c1{.eng = &eng, .core = 0};
+  ExecCtx c2{.eng = &eng, .core = 1};
+  SimSpinlock lock;
+  int shared = 0;
+  eng.Spawn(LockUser(&c1, &lock, &shared, 100, 5));
+  eng.Spawn(LockUser(&c2, &lock, &shared, 100, 5));
+  eng.RunToQuiescence(kSec);
+  // Without mutual exclusion the read-delay-write pattern would lose updates.
+  EXPECT_EQ(shared, 200);
+}
+
+Fiber OneShotWaiter(ExecCtx* ctx, OneShot* os, Tick* observed) {
+  co_await os->Wait(*ctx);
+  *observed = ctx->eng->now();
+}
+
+Fiber OneShotCompleter(ExecCtx* ctx, OneShot* os) {
+  co_await ctx->Delay(50);
+  os->Complete(*ctx->eng, ctx->Now() + 100);
+}
+
+TEST(Sync, OneShotWakesAtCompletionTime) {
+  Engine eng;
+  ExecCtx a{.eng = &eng};
+  ExecCtx b{.eng = &eng};
+  OneShot os;
+  Tick observed = 0;
+  eng.Spawn(OneShotWaiter(&a, &os, &observed));
+  eng.Spawn(OneShotCompleter(&b, &os));
+  eng.RunToQuiescence(kSec);
+  EXPECT_EQ(observed, 150u);
+}
+
+TEST(Sync, OneShotCompletedBeforeWaitIsImmediate) {
+  Engine eng;
+  ExecCtx a{.eng = &eng};
+  OneShot os;
+  os.Complete(eng, 5);
+  Tick observed = 0;
+  eng.Spawn(OneShotWaiter(&a, &os, &observed));
+  eng.RunToQuiescence(kSec);
+  EXPECT_EQ(observed, 5u);
+}
+
+}  // namespace
+}  // namespace utps::sim

@@ -1,0 +1,165 @@
+// Tests for workload synthesis: mix ratios, Zipfian skew properties, per-key
+// value sizing (ETC), and Twitter trace parameters.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "workload/workload.h"
+
+namespace utps {
+namespace {
+
+TEST(Zipfian, UniformWhenThetaZero) {
+  ZipfianGenerator gen(1000, 0.0);
+  Rng rng(1);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 100000; i++) {
+    counts[gen.Next(rng)]++;
+  }
+  // Rough uniformity: max bucket within 2x of mean.
+  int max_count = 0;
+  for (const auto& [k, c] : counts) {
+    max_count = std::max(max_count, c);
+  }
+  EXPECT_LT(max_count, 2 * 100000 / 1000);
+}
+
+TEST(Zipfian, SkewConcentratesOnLowRanks) {
+  ZipfianGenerator gen(1'000'000, 0.99);
+  Rng rng(2);
+  uint64_t top100 = 0;
+  const int kSamples = 200000;
+  for (int i = 0; i < kSamples; i++) {
+    if (gen.Next(rng) < 100) {
+      top100++;
+    }
+  }
+  // With theta=0.99 over 1M keys, the 100 hottest ranks draw roughly a
+  // quarter of the traffic.
+  EXPECT_GT(top100, kSamples / 6u);
+  EXPECT_LT(top100, kSamples / 2u);
+}
+
+TEST(Zipfian, RankZeroIsHottest) {
+  ZipfianGenerator gen(100000, 0.99);
+  Rng rng(3);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 100000; i++) {
+    counts[gen.Next(rng)]++;
+  }
+  int best_rank = -1;
+  int best = 0;
+  for (const auto& [r, c] : counts) {
+    if (c > best) {
+      best = c;
+      best_rank = static_cast<int>(r);
+    }
+  }
+  EXPECT_EQ(best_rank, 0);
+}
+
+TEST(ScrambledZipfian, SpreadsHotKeysOverKeyspace) {
+  ScrambledZipfian gen(1'000'000, 0.99);
+  // The 10 hottest keys should not be clustered in a narrow key range.
+  uint64_t lo = UINT64_MAX;
+  uint64_t hi = 0;
+  for (uint64_t r = 0; r < 10; r++) {
+    const Key k = gen.KeyOfRank(r);
+    lo = std::min(lo, k);
+    hi = std::max(hi, k);
+  }
+  EXPECT_GT(hi - lo, 100000u);
+}
+
+TEST(Workload, MixRatiosRespected) {
+  WorkloadGenerator gen(WorkloadSpec::YcsbB(10000, 64), 7);
+  int gets = 0;
+  int puts = 0;
+  const int kOps = 100000;
+  for (int i = 0; i < kOps; i++) {
+    const Op op = gen.Next();
+    if (op.type == OpType::kGet) {
+      gets++;
+    } else if (op.type == OpType::kPut) {
+      puts++;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(gets) / kOps, 0.95, 0.01);
+  EXPECT_NEAR(static_cast<double>(puts) / kOps, 0.05, 0.01);
+}
+
+TEST(Workload, ScanMixAndLength) {
+  WorkloadGenerator gen(WorkloadSpec::YcsbE(10000, 8), 8);
+  int scans = 0;
+  uint64_t total_len = 0;
+  const int kOps = 50000;
+  for (int i = 0; i < kOps; i++) {
+    const Op op = gen.Next();
+    if (op.type == OpType::kScan) {
+      scans++;
+      total_len += op.scan_count;
+      EXPECT_GE(op.scan_count, 1u);
+      EXPECT_LE(op.scan_count, 100u);
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(scans) / kOps, 0.95, 0.01);
+  // Average range size ~50 (uniform in [1, 100]).
+  EXPECT_NEAR(static_cast<double>(total_len) / scans, 50.0, 3.0);
+}
+
+TEST(Workload, EtcValueSizeMix) {
+  const WorkloadSpec spec = WorkloadSpec::Etc(1'000'000, 0.9);
+  int small = 0;
+  int mid = 0;
+  int large = 0;
+  for (Key k = 0; k < 100000; k++) {
+    const uint32_t v = ValueSizeOfKey(spec, k);
+    ASSERT_GE(v, 1u);
+    ASSERT_LE(v, 1024u);
+    if (v <= 13) {
+      small++;
+    } else if (v <= 300) {
+      mid++;
+    } else {
+      large++;
+    }
+  }
+  // Published mix: 40% / 55% / 5%.
+  EXPECT_NEAR(small / 100000.0, 0.40, 0.02);
+  EXPECT_NEAR(mid / 100000.0, 0.55, 0.02);
+  EXPECT_NEAR(large / 100000.0, 0.05, 0.02);
+}
+
+TEST(Workload, ValueSizeIsDeterministicPerKey) {
+  const WorkloadSpec spec = WorkloadSpec::Etc(1000, 0.5);
+  for (Key k = 0; k < 1000; k++) {
+    EXPECT_EQ(ValueSizeOfKey(spec, k), ValueSizeOfKey(spec, k));
+  }
+}
+
+TEST(Workload, TwitterClusterParametersMatchTable1) {
+  const WorkloadSpec c12 = WorkloadSpec::TwitterCluster(12);
+  EXPECT_DOUBLE_EQ(c12.put_ratio, 0.80);
+  EXPECT_EQ(c12.value_size, 1030u);
+  EXPECT_DOUBLE_EQ(c12.zipf_theta, 0.30);
+  const WorkloadSpec c19 = WorkloadSpec::TwitterCluster(19);
+  EXPECT_DOUBLE_EQ(c19.put_ratio, 0.25);
+  EXPECT_EQ(c19.value_size, 101u);
+  const WorkloadSpec c31 = WorkloadSpec::TwitterCluster(31);
+  EXPECT_DOUBLE_EQ(c31.put_ratio, 0.94);
+  EXPECT_DOUBLE_EQ(c31.zipf_theta, 0.0);
+}
+
+TEST(Workload, DeterministicAcrossRunsWithSameSeed) {
+  WorkloadGenerator a(WorkloadSpec::YcsbA(5000, 64), 123);
+  WorkloadGenerator b(WorkloadSpec::YcsbA(5000, 64), 123);
+  for (int i = 0; i < 1000; i++) {
+    const Op oa = a.Next();
+    const Op ob = b.Next();
+    EXPECT_EQ(oa.key, ob.key);
+    EXPECT_EQ(oa.type, ob.type);
+  }
+}
+
+}  // namespace
+}  // namespace utps
