@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_overall.dir/fig07_overall.cc.o"
+  "CMakeFiles/fig07_overall.dir/fig07_overall.cc.o.d"
+  "fig07_overall"
+  "fig07_overall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_overall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_scan_etc.dir/fig08_scan_etc.cc.o"
+  "CMakeFiles/fig08_scan_etc.dir/fig08_scan_etc.cc.o.d"
+  "fig08_scan_etc"
+  "fig08_scan_etc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_scan_etc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

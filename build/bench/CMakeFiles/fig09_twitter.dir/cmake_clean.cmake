@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_twitter.dir/fig09_twitter.cc.o"
+  "CMakeFiles/fig09_twitter.dir/fig09_twitter.cc.o.d"
+  "fig09_twitter"
+  "fig09_twitter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_twitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

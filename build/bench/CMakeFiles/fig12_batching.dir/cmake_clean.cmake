@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_batching.dir/fig12_batching.cc.o"
+  "CMakeFiles/fig12_batching.dir/fig12_batching.cc.o.d"
+  "fig12_batching"
+  "fig12_batching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_batching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_autotuner.dir/fig13_autotuner.cc.o"
+  "CMakeFiles/fig13_autotuner.dir/fig13_autotuner.cc.o.d"
+  "fig13_autotuner"
+  "fig13_autotuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_autotuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_dynamic.dir/fig14_dynamic.cc.o"
+  "CMakeFiles/fig14_dynamic.dir/fig14_dynamic.cc.o.d"
+  "fig14_dynamic"
+  "fig14_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/range_scan_demo.dir/range_scan_demo.cpp.o"
+  "CMakeFiles/range_scan_demo.dir/range_scan_demo.cpp.o.d"
+  "range_scan_demo"
+  "range_scan_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/range_scan_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/basekv.cc" "src/CMakeFiles/utps.dir/baseline/basekv.cc.o" "gcc" "src/CMakeFiles/utps.dir/baseline/basekv.cc.o.d"
+  "/root/repo/src/baseline/erpckv.cc" "src/CMakeFiles/utps.dir/baseline/erpckv.cc.o" "gcc" "src/CMakeFiles/utps.dir/baseline/erpckv.cc.o.d"
+  "/root/repo/src/baseline/passive.cc" "src/CMakeFiles/utps.dir/baseline/passive.cc.o" "gcc" "src/CMakeFiles/utps.dir/baseline/passive.cc.o.d"
+  "/root/repo/src/core/mutps.cc" "src/CMakeFiles/utps.dir/core/mutps.cc.o" "gcc" "src/CMakeFiles/utps.dir/core/mutps.cc.o.d"
+  "/root/repo/src/harness/experiment.cc" "src/CMakeFiles/utps.dir/harness/experiment.cc.o" "gcc" "src/CMakeFiles/utps.dir/harness/experiment.cc.o.d"
+  "/root/repo/src/index/btree.cc" "src/CMakeFiles/utps.dir/index/btree.cc.o" "gcc" "src/CMakeFiles/utps.dir/index/btree.cc.o.d"
+  "/root/repo/src/index/cuckoo.cc" "src/CMakeFiles/utps.dir/index/cuckoo.cc.o" "gcc" "src/CMakeFiles/utps.dir/index/cuckoo.cc.o.d"
+  "/root/repo/src/version.cc" "src/CMakeFiles/utps.dir/version.cc.o" "gcc" "src/CMakeFiles/utps.dir/version.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/utps.dir/baseline/basekv.cc.o"
+  "CMakeFiles/utps.dir/baseline/basekv.cc.o.d"
+  "CMakeFiles/utps.dir/baseline/erpckv.cc.o"
+  "CMakeFiles/utps.dir/baseline/erpckv.cc.o.d"
+  "CMakeFiles/utps.dir/baseline/passive.cc.o"
+  "CMakeFiles/utps.dir/baseline/passive.cc.o.d"
+  "CMakeFiles/utps.dir/core/mutps.cc.o"
+  "CMakeFiles/utps.dir/core/mutps.cc.o.d"
+  "CMakeFiles/utps.dir/harness/experiment.cc.o"
+  "CMakeFiles/utps.dir/harness/experiment.cc.o.d"
+  "CMakeFiles/utps.dir/index/btree.cc.o"
+  "CMakeFiles/utps.dir/index/btree.cc.o.d"
+  "CMakeFiles/utps.dir/index/cuckoo.cc.o"
+  "CMakeFiles/utps.dir/index/cuckoo.cc.o.d"
+  "CMakeFiles/utps.dir/version.cc.o"
+  "CMakeFiles/utps.dir/version.cc.o.d"
+  "libutps.a"
+  "libutps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/utps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

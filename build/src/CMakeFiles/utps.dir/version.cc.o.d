@@ -1,0 +1,2 @@
+src/CMakeFiles/utps.dir/version.cc.o: /root/repo/src/version.cc \
+ /usr/include/stdc-predef.h

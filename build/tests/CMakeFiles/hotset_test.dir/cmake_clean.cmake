@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotset_test.dir/hotset_test.cc.o"
+  "CMakeFiles/hotset_test.dir/hotset_test.cc.o.d"
+  "hotset_test"
+  "hotset_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(sim_engine_test "/root/repo/build/tests/sim_engine_test")
+set_tests_properties(sim_engine_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;8;utps_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cache_model_test "/root/repo/build/tests/cache_model_test")
+set_tests_properties(cache_model_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;9;utps_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(index_test "/root/repo/build/tests/index_test")
+set_tests_properties(index_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;10;utps_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(server_test "/root/repo/build/tests/server_test")
+set_tests_properties(server_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;11;utps_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(workload_test "/root/repo/build/tests/workload_test")
+set_tests_properties(workload_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;12;utps_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(hotset_test "/root/repo/build/tests/hotset_test")
+set_tests_properties(hotset_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;13;utps_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(rpc_test "/root/repo/build/tests/rpc_test")
+set_tests_properties(rpc_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;14;utps_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(stats_test "/root/repo/build/tests/stats_test")
+set_tests_properties(stats_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;15;utps_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(autotuner_test "/root/repo/build/tests/autotuner_test")
+set_tests_properties(autotuner_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;16;utps_test;/root/repo/tests/CMakeLists.txt;0;")
