@@ -67,6 +67,7 @@ int main() {
           std::printf("%-14s%-14u%-14s%-14s%-14.2f%-14.2f%-14.2f\n",
                       IndexName(index), size, mix.name, DisplayName(sys, index),
                       r.mops, r.p50_ns / 1000.0, r.p99_ns / 1000.0);
+          PrintObsReport(r);
           std::fflush(stdout);
         }
       }

@@ -1,8 +1,21 @@
 #!/bin/bash
 # Runs every figure bench sequentially, teeing per-bench outputs to results/.
-# Honours MUTPS_DB_SIZE / MUTPS_BENCH_SCALE / MUTPS_QUICK (see README).
+# Honours MUTPS_DB_SIZE / MUTPS_BENCH_SCALE / MUTPS_QUICK and the
+# observability knobs MUTPS_TRACE / MUTPS_CYCLES / MUTPS_METRICS (see README).
+#
+# MUTPS_ASAN=1 first builds and runs the test suite under ASan+UBSan (preset
+# "asan", build-asan/) before touching the benches — the sanitizer CI job.
 set -u
 cd "$(dirname "$0")"
+
+if [ "${MUTPS_ASAN:-0}" != "0" ]; then
+  echo "=== ASan+UBSan build + tests (preset asan) ==="
+  cmake --preset asan || exit 1
+  cmake --build --preset asan -j "$(nproc)" || exit 1
+  ctest --preset asan -j "$(nproc)" || exit 1
+  echo "=== sanitizer tests passed ==="
+fi
+
 mkdir -p results
 for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] || continue

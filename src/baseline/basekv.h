@@ -33,6 +33,9 @@ class BaseKvServer final : public KvServer {
       workers_[i].ctx = sim::ExecCtx{.eng = env_.eng, .mem = env_.mem,
                                      .core = static_cast<sim::CoreId>(i),
                                      .clos = opt_.clos};
+      if (env_.obs != nullptr) {
+        workers_[i].ctx.stage_ns = env_.obs->StageNs(i);
+      }
       resp_bufs_.push_back(std::make_unique<RespBuffer>(env_.arena));
       workers_[i].resp = resp_bufs_.back().get();
     }

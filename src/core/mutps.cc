@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <string>
 
 #include "common/rng.h"
 #include "store/item.h"
@@ -34,6 +35,9 @@ MuTpsServer::MuTpsServer(const ServerEnv& env, const Options& opt)
     Worker& wk = workers_[i];
     wk.ctx = ExecCtx{.eng = env_.eng, .mem = env_.mem,
                      .core = static_cast<sim::CoreId>(i)};
+    if (env_.obs != nullptr) {
+      wk.ctx.stage_ns = env_.obs->StageNs(i);
+    }
     resp_bufs_.push_back(std::make_unique<RespBuffer>(env_.arena));
     wk.resp = resp_bufs_.back().get();
     wk.staging.resize(w);
@@ -42,6 +46,11 @@ MuTpsServer::MuTpsServer(const ServerEnv& env, const Options& opt)
   }
   mgr_ctx_ = ExecCtx{.eng = env_.eng, .mem = env_.mem,
                      .core = static_cast<sim::CoreId>(w < 32 ? w : 0)};
+  mgr_tid_ = w;  // distinct tracer lane even when the sim core id wraps
+  if (env_.obs != nullptr) {
+    mgr_ctx_.stage_ns = env_.obs->StageNs(w);
+    trc_ = env_.obs->tracer();
+  }
   unsigned ncr = opt_.initial_ncr;
   if (ncr == 0) {
     ncr = std::max(1u, w / 3);
@@ -57,6 +66,14 @@ MuTpsServer::MuTpsServer(const ServerEnv& env, const Options& opt)
 }
 
 void MuTpsServer::Start() {
+  if (trc_ != nullptr) {
+    for (unsigned i = 0; i < env_.num_workers; i++) {
+      trc_->SetThreadName(obs::Tracer::kServerPid, i, "worker" + std::to_string(i));
+      out_ctr_name_.push_back(
+          trc_->Intern("outstanding_w" + std::to_string(i)));
+    }
+    trc_->SetThreadName(obs::Tracer::kServerPid, mgr_tid_, "manager");
+  }
   for (unsigned i = 0; i < env_.num_workers; i++) {
     workers_[i].adopted_version = cfg_.version;
     env_.eng->Spawn(WorkerMain(i));
@@ -72,9 +89,51 @@ uint64_t MuTpsServer::OpsCompleted() const {
   return total;
 }
 
+uint64_t MuTpsServer::hot_hits() const {
+  uint64_t total = 0;
+  for (const Worker& w : workers_) {
+    total += w.hot_hits;
+  }
+  return total;
+}
+
+uint64_t MuTpsServer::hot_misses() const {
+  uint64_t total = 0;
+  for (const Worker& w : workers_) {
+    total += w.hot_misses;
+  }
+  return total;
+}
+
 void MuTpsServer::ResetStats() {
   for (Worker& w : workers_) {
     w.ops = 0;
+    w.hot_hits = 0;
+    w.hot_misses = 0;
+    w.peak_outstanding = 0;
+  }
+  peak_ring_occ_ = 0;
+}
+
+void MuTpsServer::ExportMetrics(obs::MetricsRegistry* m) const {
+  if (m == nullptr) {
+    return;
+  }
+  m->Count("mutps", "hot_hits", hot_hits());
+  m->Count("mutps", "hot_misses", hot_misses());
+  m->Count("mutps", "reconfigs", reconfig_count_);
+  m->SetGauge("mutps", "ncr", cfg_.ncr);
+  m->SetGauge("mutps", "nmr", env_.num_workers - cfg_.ncr);
+  m->SetGauge("mutps", "cache_items", hot_->ActiveCount());
+  m->SetGauge("mutps", "mr_llc_ways", mr_ways_);
+  m->SetGauge("mutps", "peak_ring_occ", peak_ring_occ_);
+  for (unsigned i = 0; i < env_.num_workers; i++) {
+    const Worker& w = workers_[i];
+    m->Count("mutps", "ops", w.ops, static_cast<int>(i));
+    if (w.peak_outstanding > 0) {
+      m->SetGauge("mutps", "peak_outstanding", w.peak_outstanding,
+                  static_cast<int>(i));
+    }
   }
 }
 
@@ -191,6 +250,7 @@ Task<bool> MuTpsServer::CrHandleRecord(unsigned idx, uint64_t rx_seq,
                                        unsigned rec_idx) {
   Worker& w = workers_[idx];
   ExecCtx& ctx = w.ctx;
+  obs::SpanScope op_span(trc_, ctx, "cr", "op", obs::Tracer::kServerPid, idx);
   RxRecord* rec = &rx_->Records(rx_seq)[rec_idx];
   {
     StageScope s(ctx, Stage::kParse);
@@ -221,6 +281,11 @@ Task<bool> MuTpsServer::CrHandleRecord(unsigned idx, uint64_t rx_seq,
     }
     if (hot_item != nullptr && op == OpType::kPut && vlen > hot_item->capacity) {
       hot_item = nullptr;  // needs reallocation: take the MR slow path
+    }
+    if (hot_item != nullptr) {
+      w.hot_hits++;
+    } else {
+      w.hot_misses++;
     }
   }
   if (hot_item != nullptr) {
@@ -355,6 +420,7 @@ Task<void> MuTpsServer::CrFlushStaging(unsigned idx, unsigned target) {
   if (st.descs.empty()) {
     co_return;
   }
+  obs::SpanScope span(trc_, ctx, "cr", "cr_flush", obs::Tracer::kServerPid, idx);
   CrMrRing& r = RingAt(idx, target);
   // Flow control against OUR completion cursor, not the consumer's tail: a
   // physical slot must not be reused until its responses have been sent
@@ -384,6 +450,17 @@ Task<void> MuTpsServer::CrFlushStaging(unsigned idx, unsigned target) {
     co_await ctx.Write(r.head_addr(), 8);
   }
   w.outstanding += cnt;
+  if (w.outstanding > w.peak_outstanding) {
+    w.peak_outstanding = w.outstanding;
+  }
+  const uint64_t occ = r.head() - w.seen_tail[target];
+  if (occ > peak_ring_occ_) {
+    peak_ring_occ_ = occ;
+  }
+  if (trc_ != nullptr) {
+    trc_->Counter(out_ctr_name_[idx], obs::Tracer::kServerPid, ctx.Now(),
+                  w.outstanding);
+  }
   st.descs.erase(st.descs.begin(), st.descs.begin() + cnt);
   st.host.erase(st.host.begin(), st.host.begin() + cnt);
   if (!st.descs.empty()) {
@@ -406,6 +483,7 @@ Task<void> MuTpsServer::CrPollCompletions(unsigned idx) {
       StageScope s(ctx, Stage::kQueue);
       co_await ctx.Read(r.tail_addr(), 8);
     }
+    bool drained = false;
     while (w.seen_tail[t] < r.tail()) {
       const uint64_t seq = w.seen_tail[t];
       CrMrRing::Slot* slot = r.SlotAt(seq);
@@ -415,6 +493,11 @@ Task<void> MuTpsServer::CrPollCompletions(unsigned idx) {
       }
       w.outstanding -= slot->count;
       w.seen_tail[t]++;
+      drained = true;
+    }
+    if (drained && trc_ != nullptr) {
+      trc_->Counter(out_ctr_name_[idx], obs::Tracer::kServerPid, ctx.Now(),
+                    w.outstanding);
     }
   }
 }
@@ -509,6 +592,7 @@ Task<void> MuTpsServer::MrProcessSlot(unsigned idx, unsigned producer,
                                       uint64_t seq) {
   Worker& w = workers_[idx];
   ExecCtx& ctx = w.ctx;
+  obs::SpanScope span(trc_, ctx, "mr", "mr_batch", obs::Tracer::kServerPid, idx);
   CrMrRing& r = RingAt(producer, idx);
   CrMrRing::Slot* slot = r.SlotAt(seq);
   CrMrHostDesc* host = r.HostAt(seq);
@@ -588,6 +672,8 @@ Fiber MuTpsServer::ManagerMain() {
 
 Task<void> MuTpsServer::RefreshHotSet(uint32_t k) {
   ExecCtx& ctx = mgr_ctx_;
+  obs::SpanScope span(trc_, ctx, "mgr", "refresh_hotset",
+                      obs::Tracer::kServerPid, mgr_tid_);
   const uint32_t samples = hot_->DrainSamples();
   // Sketch/top-K maintenance cost on the management core.
   co_await ctx.Delay(100 + samples * 25ull);
@@ -607,10 +693,17 @@ Task<void> MuTpsServer::Reconfigure(unsigned new_ncr) {
   if (new_ncr == cfg_.ncr) {
     co_return;
   }
+  obs::SpanScope span(trc_, ctx, "mgr", "reconfigure", obs::Tracer::kServerPid,
+                      mgr_tid_);
   expected_acks_ = cfg_.ncr;
   cr_acks_ = 0;
   cfg_ = Config{new_ncr, rx_->fill_seq(), cfg_.version + 1};
   reconfig_count_++;
+  if (trc_ != nullptr) {
+    // Instant marker: makes thread-split changes visible as vertical lines.
+    trc_->Instant("mgr", "thread_split_switch", obs::Tracer::kServerPid,
+                  mgr_tid_, ctx.Now());
+  }
   // Wait for all workers to adopt the new configuration (request processing
   // continues throughout).
   while (!stop_) {
@@ -630,6 +723,8 @@ Task<void> MuTpsServer::Reconfigure(unsigned new_ncr) {
 
 Task<double> MuTpsServer::MeasureWindow() {
   ExecCtx& ctx = mgr_ctx_;
+  obs::SpanScope span(trc_, ctx, "mgr", "measure_window",
+                      obs::Tracer::kServerPid, mgr_tid_);
   const uint64_t base = OpsCompleted();
   const Tick t0 = ctx.eng->now();
   co_await ctx.Delay(opt_.tune_window_ns);
@@ -641,6 +736,8 @@ Task<double> MuTpsServer::MeasureWindow() {
 
 Task<unsigned> MuTpsServer::TrisectThreads(double* best_mops_out) {
   ExecCtx& ctx = mgr_ctx_;
+  obs::SpanScope span(trc_, ctx, "mgr", "trisect_threads",
+                      obs::Tracer::kServerPid, mgr_tid_);
   unsigned lo = 1;
   unsigned hi = env_.num_workers - 1;
   const auto measure_at = [&](unsigned ncr) -> Task<double> {
@@ -678,6 +775,8 @@ Task<unsigned> MuTpsServer::TrisectThreads(double* best_mops_out) {
 
 Task<void> MuTpsServer::TuneLlcWays() {
   ExecCtx& ctx = mgr_ctx_;
+  obs::SpanScope span(trc_, ctx, "mgr", "tune_llc", obs::Tracer::kServerPid,
+                      mgr_tid_);
   const unsigned total_ways = env_.mem->config().llc_ways;
   const auto measure_ways = [&](unsigned ways) -> Task<double> {
     const uint32_t mask = ((1u << ways) - 1) << (total_ways - ways);
@@ -715,6 +814,8 @@ Task<void> MuTpsServer::TuneLlcWays() {
 }
 
 Task<void> MuTpsServer::Autotune() {
+  obs::SpanScope span(trc_, mgr_ctx_, "mgr", "autotune",
+                      obs::Tracer::kServerPid, mgr_tid_);
   double best = -1.0;
   uint32_t best_k = cache_k_;
   unsigned best_ncr = cfg_.ncr;

@@ -33,6 +33,7 @@
 #include "hotset/hotset.h"
 #include "net/resp_buf.h"
 #include "net/rpc.h"
+#include "obs/span.h"
 #include "sim/batch.h"
 #include "stats/timeseries.h"
 
@@ -79,6 +80,12 @@ class MuTpsServer final : public KvServer {
   uint32_t target_cache_items() const { return cache_k_; }
   unsigned mr_ways() const { return mr_ways_; }
   uint64_t reconfig_count() const { return reconfig_count_; }
+  // Hot-cache effectiveness over the CR layer (cache-eligible requests only).
+  uint64_t hot_hits() const;
+  uint64_t hot_misses() const;
+  // High-water occupancy (slots) seen on any CR-MR ring since ResetStats.
+  uint64_t peak_ring_occ() const { return peak_ring_occ_; }
+  void ExportMetrics(obs::MetricsRegistry* m) const override;
   // True once the auto-tuner has completed its first search (always true when
   // auto-tuning is disabled) — the harness gates measurement on this.
   bool tuned() const { return tuned_once_ || !opt_.autotune; }
@@ -102,6 +109,9 @@ class MuTpsServer final : public KvServer {
     sim::ExecCtx ctx;
     RespBuffer* resp = nullptr;
     uint64_t ops = 0;
+    uint64_t hot_hits = 0;           // CR: cache-eligible requests served hot
+    uint64_t hot_misses = 0;         // CR: cache-eligible requests forwarded
+    uint64_t peak_outstanding = 0;   // CR: high-water forwarded-not-completed
     uint64_t adopted_version = 0;
     bool is_cr = false;
     // CR staging: per-target-MR pending descriptor batches.
@@ -169,6 +179,12 @@ class MuTpsServer final : public KvServer {
   std::vector<std::unique_ptr<RespBuffer>> resp_bufs_;
   std::unique_ptr<HotSetManager> hot_;
   sim::ExecCtx mgr_ctx_;
+
+  // Observability (null/empty when disabled; see ServerEnv::obs).
+  obs::Tracer* trc_ = nullptr;
+  uint32_t mgr_tid_ = 0;                   // tracer tid for the manager fiber
+  std::vector<const char*> out_ctr_name_;  // interned per-CR counter names
+  uint64_t peak_ring_occ_ = 0;
 
   Config cfg_;           // current (latest published) configuration
   uint64_t cr_acks_ = 0;  // CR workers that passed the switch point

@@ -7,6 +7,7 @@
 #include <cstdint>
 
 #include "index/index.h"
+#include "obs/obs.h"
 #include "sim/arena.h"
 #include "sim/cache.h"
 #include "sim/engine.h"
@@ -25,6 +26,9 @@ struct ServerEnv {
   KvIndex* index = nullptr;  // shared index (share-everything servers)
   IndexType index_type = IndexType::kHash;
   unsigned num_workers = 28;
+  // Observability bundle (null = everything disabled). Servers wire worker
+  // contexts to its cycle-accounting arrays and emit tracer spans through it.
+  obs::Observer* obs = nullptr;
 
   // Fixed per-request CPU costs (ns), identical across server systems.
   sim::Tick parse_cpu_ns = 30;
@@ -52,6 +56,10 @@ class KvServer {
   // Ops completed (responses sent) since Start.
   virtual uint64_t OpsCompleted() const = 0;
   virtual void ResetStats() {}
+
+  // Snapshot server-internal counters into a metrics registry (called by the
+  // harness at the end of the measurement window; no-op by default).
+  virtual void ExportMetrics(obs::MetricsRegistry* m) const { (void)m; }
 
   virtual const char* Name() const = 0;
 };

@@ -4,6 +4,13 @@
 //   MUTPS_DB_SIZE      database size in keys      (default 1,000,000)
 //   MUTPS_BENCH_SCALE  measurement-window scale   (default 1.0)
 //   MUTPS_QUICK        if set (non-zero), shrink sweep grids for smoke runs
+//   MUTPS_TRACE        path: enable virtual-time tracing and write Chrome
+//                      trace_event JSON there (open in Perfetto); successive
+//                      points in a sweep overwrite it, so the file holds the
+//                      last point's trace
+//   MUTPS_CYCLES       if non-zero, print a per-op cycle-accounting breakdown
+//                      under each result row
+//   MUTPS_METRICS      if non-zero, dump the metrics registry after each row
 #ifndef UTPS_HARNESS_BENCH_UTIL_H_
 #define UTPS_HARNESS_BENCH_UTIL_H_
 
@@ -52,7 +59,50 @@ inline ExperimentConfig StdConfig(SystemKind system, const WorkloadSpec& spec) {
   cfg.mutps.cache_sizes = {0, 4000, 8000};
   cfg.mutps.tune_window_ns = 150 * sim::kUsec;
   cfg.mutps.refresh_period_ns = 2 * sim::kMsec;
+  // Observability knobs (all default-off; see obs/obs.h).
+  cfg.obs.trace_path = EnvStr("MUTPS_TRACE", "");
+  cfg.obs.trace = !cfg.obs.trace_path.empty();
+  cfg.obs.cycle_accounting = EnvInt("MUTPS_CYCLES", 0) != 0;
+  cfg.obs.metrics = EnvInt("MUTPS_METRICS", 0) != 0;
   return cfg;
+}
+
+// Prints the per-op cycle-accounting breakdown (and trace/metrics notes)
+// under a result row. No-op when the matching ObsConfig knobs are off.
+inline void PrintObsReport(const ExperimentResult& res) {
+  if (res.cycles.valid) {
+    const auto& c = res.cycles;
+    const auto at = [&](sim::Stage s) {
+      return c.ns_per_op[static_cast<unsigned>(s)];
+    };
+    std::printf(
+        "  cycles/op (ns): poll %.0f  parse %.0f  cache %.0f  index %.0f  "
+        "data %.0f  respond %.0f  queue %.0f  other %.0f  | busy %.0f "
+        "(%llu ops)\n",
+        at(sim::Stage::kPoll), at(sim::Stage::kParse),
+        at(sim::Stage::kCacheCheck), at(sim::Stage::kIndex),
+        at(sim::Stage::kData), at(sim::Stage::kRespond),
+        at(sim::Stage::kQueue), at(sim::Stage::kIdle), c.busy_ns_per_op,
+        static_cast<unsigned long long>(c.ops));
+  }
+  if (!res.trace_file.empty()) {
+    std::printf("  trace: %s (%llu events, %llu dropped)\n",
+                res.trace_file.c_str(),
+                static_cast<unsigned long long>(res.trace_events),
+                static_cast<unsigned long long>(res.trace_dropped));
+  }
+  if (!res.metrics_dump.empty()) {
+    std::printf("  metrics:\n");
+    // Indent each registry line under the row for readability.
+    size_t pos = 0;
+    while (pos < res.metrics_dump.size()) {
+      const size_t nl = res.metrics_dump.find('\n', pos);
+      const size_t end = nl == std::string::npos ? res.metrics_dump.size() : nl;
+      std::printf("    %.*s\n", static_cast<int>(end - pos),
+                  res.metrics_dump.c_str() + pos);
+      pos = end + 1;
+    }
+  }
 }
 
 // Column-aligned row printing.

@@ -1,6 +1,7 @@
 #include "harness/experiment.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "index/btree.h"
 #include "index/cuckoo.h"
@@ -219,6 +220,18 @@ ExperimentResult TestBed::Run(const ExperimentConfig& cfg) {
       cfg.system == SystemKind::kErpcKv ? server_workers_ : 1;
   Nic nic(&eng, mem_.get(), nic_cfg_, rings);
 
+  // Observability bundle: one per run so traces/metrics cover exactly this
+  // point. Cores [0, W) are server workers, core W the μTPS manager.
+  std::unique_ptr<obs::Observer> observer;
+  if (cfg.obs.any()) {
+    observer = std::make_unique<obs::Observer>(cfg.obs, server_workers_ + 1);
+    if (obs::Tracer* trc = observer->tracer()) {
+      trc->SetProcessName(obs::Tracer::kServerPid, "server");
+      trc->SetProcessName(obs::Tracer::kClientPid, "clients");
+      trc->SetProcessName(obs::Tracer::kNicPid, "nic");
+    }
+  }
+
   ServerEnv env;
   env.eng = &eng;
   env.mem = mem_.get();
@@ -228,6 +241,7 @@ ExperimentResult TestBed::Run(const ExperimentConfig& cfg) {
   env.index = index_.get();
   env.index_type = index_type_;
   env.num_workers = server_workers_;
+  env.obs = observer.get();
 
   std::unique_ptr<KvServer> server;
   PassiveKv* passive = nullptr;
@@ -302,6 +316,9 @@ ExperimentResult TestBed::Run(const ExperimentConfig& cfg) {
     server->ResetStats();
   }
   mem_->ResetCounters();
+  if (observer != nullptr) {
+    observer->ResetCycles();  // cycle accounting covers the window only
+  }
   sh.measuring = true;
   const Tick t0 = eng.now();
   eng.Run(t0 + cfg.measure_ns);
@@ -350,6 +367,55 @@ ExperimentResult TestBed::Run(const ExperimentConfig& cfg) {
     res.timeline_bucket_ns = timeline.bucket_ns();
     for (size_t i = 0; i < timeline.NumBuckets(); i++) {
       res.timeline_mops.push_back(timeline.RateAt(i) / 1e6);
+    }
+  }
+  if (mutps != nullptr) {
+    res.hot_hits = mutps->hot_hits();
+    res.hot_misses = mutps->hot_misses();
+  }
+
+  // Observability outputs — built at t1, before the drain below, so the
+  // report covers exactly the measurement window.
+  if (observer != nullptr) {
+    const uint64_t server_ops =
+        server != nullptr ? server->OpsCompleted() : sh.ops;
+    res.cycles = observer->BuildCycleReport(server_workers_ + 1, server_ops);
+    if (obs::MetricsRegistry* m = observer->metrics()) {
+      const Engine::Stats& es = eng.stats();
+      m->Count("engine", "events_processed", es.events_processed);
+      m->Count("engine", "events_scheduled", es.events_scheduled);
+      m->SetGauge("engine", "peak_heap", es.peak_heap);
+      m->Count("nic", "rx_messages", nic.rx_messages());
+      m->Count("nic", "tx_messages", nic.tx_messages());
+      m->Count("nic", "rx_bytes", nic.rx_bytes());
+      m->Count("nic", "tx_bytes", nic.tx_bytes());
+      m->SetGauge("nic", "peak_ring_depth", nic.peak_ring_depth());
+      const sim::StageCounters mc = mem_->TotalCounters();
+      m->Count("cache", "accesses", mc.accesses);
+      m->Count("cache", "priv_hits", mc.priv_hits);
+      m->Count("cache", "llc_hits", mc.llc_hits);
+      m->Count("cache", "llc_misses", mc.llc_misses);
+      m->Count("cache", "io_reads", mem_->io_reads());
+      m->Count("cache", "io_writes", mem_->io_writes());
+      if (server != nullptr) {
+        server->ExportMetrics(m);
+      }
+      res.metrics_dump = m->ToString();
+    }
+    if (obs::Tracer* trc = observer->tracer()) {
+      res.trace_events = trc->num_events();
+      res.trace_dropped = trc->dropped();
+      // Skip event-less traces (passive systems have no instrumented server),
+      // so a sweep's shared trace path keeps the last point that recorded
+      // anything instead of a metadata-only file.
+      if (!cfg.obs.trace_path.empty() && trc->num_events() > 0) {
+        if (trc->WriteFile(cfg.obs.trace_path)) {
+          res.trace_file = cfg.obs.trace_path;
+        } else {
+          std::fprintf(stderr, "obs: failed to write trace to %s\n",
+                       cfg.obs.trace_path.c_str());
+        }
+      }
     }
   }
 

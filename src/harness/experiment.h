@@ -20,6 +20,7 @@
 #include "baseline/passive.h"
 #include "core/mutps.h"
 #include "core/server.h"
+#include "obs/obs.h"
 #include "stats/histogram.h"
 #include "stats/timeseries.h"
 #include "workload/workload.h"
@@ -65,6 +66,8 @@ struct ExperimentConfig {
   const WorkloadSpec* phase2 = nullptr;   // workload switch mid-run (Fig 14)
   sim::Tick phase2_at_ns = 0;
   sim::Tick phase2_extra_ns = 0;          // extra measure time after switch
+  // Observability (all off by default; see obs/obs.h and DESIGN.md).
+  obs::ObsConfig obs;
 };
 
 struct ExperimentResult {
@@ -86,6 +89,14 @@ struct ExperimentResult {
   // Optional throughput timeline (bucketed ops completions).
   std::vector<double> timeline_mops;
   sim::Tick timeline_bucket_ns = 0;
+  // Observability outputs (populated only when the matching knob is on).
+  obs::CycleReport cycles;       // per-op stage breakdown over the window
+  std::string trace_file;        // path the Chrome trace JSON was written to
+  uint64_t trace_events = 0;
+  uint64_t trace_dropped = 0;
+  uint64_t hot_hits = 0;         // μTPS CR hot-cache outcome counters
+  uint64_t hot_misses = 0;
+  std::string metrics_dump;      // MetricsRegistry::ToString() snapshot
 };
 
 class TestBed {

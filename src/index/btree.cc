@@ -14,7 +14,10 @@ constexpr sim::Tick kNodeCpuNs = 30;
 // migrated keys. high_key/has_high bound the node's key range.
 
 BTreeIndex::BTreeIndex(sim::Arena* arena) : arena_(arena) {
+  root_word_ = static_cast<Node**>(
+      arena_->Allocate(kCachelineBytes, kCachelineBytes));
   root_ = NewNode(/*leaf=*/true);
+  *root_word_ = root_;
 }
 
 BTreeIndex::Node* BTreeIndex::NewNode(bool leaf) {
@@ -130,6 +133,7 @@ bool BTreeIndex::InsertDirect(Key key, Item* item) {
     new_root->ptrs[0] = root_;
     SplitChild(new_root, 0, root_);
     root_ = new_root;
+    *root_word_ = root_;
     root_version_++;
     height_++;
   }
@@ -254,6 +258,7 @@ void BTreeIndex::BulkLoadDirect(const std::vector<std::pair<Key, Item*>>& sorted
     height_++;
   }
   root_ = level[0];
+  *root_word_ = root_;
   root_version_++;
   size_ = sorted.size();
 }
@@ -306,7 +311,7 @@ sim::Task<void> BTreeIndex::UnlockNode(sim::ExecCtx& ctx, Node* n) {
 
 sim::Task<Item*> BTreeIndex::CoGet(sim::ExecCtx& ctx, Key key) {
   for (;;) {
-    co_await ctx.Read(&root_, 8);
+    co_await ctx.Read(root_word_, 8);
     Node* n = root_;
     bool restart = false;
     while (!restart) {
@@ -371,6 +376,7 @@ sim::Task<bool> BTreeIndex::CoInsert(sim::ExecCtx& ctx, Key key, Item* item) {
       new_root->ptrs[0] = r;
       SplitChild(new_root, 0, r);
       root_ = new_root;
+      *root_word_ = root_;
       root_version_++;
       height_++;
       co_await ctx.Write(new_root, sizeof(Node));
@@ -497,7 +503,7 @@ sim::Task<uint32_t> BTreeIndex::CoScan(sim::ExecCtx& ctx, Key lo, Key hi,
   // Descend optimistically to the leaf containing `lo`.
   Node* n = nullptr;
   for (;;) {
-    co_await ctx.Read(&root_, 8);
+    co_await ctx.Read(root_word_, 8);
     n = root_;
     bool restart = false;
     while (!n->is_leaf && !restart) {

@@ -80,6 +80,10 @@ class BTreeIndex final : public KvIndex {
 
   sim::Arena* arena_;
   Node* root_;
+  // Arena mirror of root_: the modeled address of the root pointer word.
+  // &root_ is on the host heap, and modeled set indices may not depend on
+  // host heap addresses (see sim/arena.h).
+  Node** root_word_ = nullptr;
   unsigned height_ = 1;  // number of levels (1 = root is a leaf)
   uint64_t size_ = 0;
   uint64_t root_version_ = 0;  // bumped when root_ changes (reader validation)

@@ -27,6 +27,14 @@ CuckooIndex::CuckooIndex(sim::Arena* arena, uint64_t capacity_items, uint64_t se
   for (uint64_t i = 0; i < nbuckets_; i++) {
     new (&buckets_[i]) Bucket();
   }
+  // Stripe lock words live in the arena (one cacheline each, like the locks'
+  // own alignas layout) so their modeled set indices don't follow the host
+  // heap address of this index object.
+  uint8_t* lw = arena->AllocateArray<uint8_t>(
+      size_t{kNumStripes} * kCachelineBytes, kCachelineBytes);
+  for (unsigned s = 0; s < kNumStripes; s++) {
+    stripes_[s].BindModeledWord(lw + size_t{s} * kCachelineBytes);
+  }
 }
 
 // ----------------------------------------------------------- host plane

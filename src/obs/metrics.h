@@ -1,0 +1,112 @@
+// Lightweight metrics registry: named counters and gauges keyed by
+// (component, name, core).
+//
+// Hot paths never touch the registry: a component registers a slot once at
+// setup and bumps the returned raw uint64_t through a pointer (one add), or —
+// for components that already keep their own counters (NIC, cache model,
+// μTPS workers) — the registry only *snapshots* those values at report time.
+// When observability is disabled no registry exists at all and instrumented
+// code holds null pointers, so the disabled cost is a predicted-not-taken
+// branch at most.
+#ifndef UTPS_OBS_METRICS_H_
+#define UTPS_OBS_METRICS_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <string>
+#include <string_view>
+
+namespace utps::obs {
+
+// Registry of counters (monotonic) and gauges (point-in-time samples).
+// Entry addresses are stable for the registry's lifetime (deque storage), so
+// handing out raw value pointers is safe.
+class MetricsRegistry {
+ public:
+  struct Entry {
+    std::string component;  // e.g. "engine", "nic", "mutps"
+    std::string name;       // e.g. "hot_hits"
+    int core;               // -1 = machine-wide
+    bool is_gauge;
+    uint64_t value;
+  };
+
+  // Registers (or finds) a counter slot and returns a pointer to its value.
+  // Hot paths increment through the pointer; the registry is only walked at
+  // report time.
+  uint64_t* Counter(std::string_view component, std::string_view name,
+                    int core = -1) {
+    return &FindOrAdd(component, name, core, /*gauge=*/false)->value;
+  }
+
+  // Sets a gauge to a sampled value (registering it on first use).
+  void SetGauge(std::string_view component, std::string_view name,
+                uint64_t value, int core = -1) {
+    FindOrAdd(component, name, core, /*gauge=*/true)->value = value;
+  }
+
+  // Convenience: bump-or-create for cold paths (reconfig events etc).
+  void Count(std::string_view component, std::string_view name,
+             uint64_t delta = 1, int core = -1) {
+    FindOrAdd(component, name, core, /*gauge=*/false)->value += delta;
+  }
+
+  uint64_t Value(std::string_view component, std::string_view name,
+                 int core = -1) const {
+    for (const Entry& e : entries_) {
+      if (e.core == core && e.component == component && e.name == name) {
+        return e.value;
+      }
+    }
+    return 0;
+  }
+
+  const std::deque<Entry>& entries() const { return entries_; }
+
+  void Reset() {
+    for (Entry& e : entries_) {
+      e.value = 0;
+    }
+  }
+
+  // Human-readable dump, one "component.name[core] = value" line each.
+  std::string ToString() const {
+    std::string out;
+    char line[160];
+    for (const Entry& e : entries_) {
+      if (e.core >= 0) {
+        std::snprintf(line, sizeof(line), "%s.%s[%d] = %llu%s\n",
+                      e.component.c_str(), e.name.c_str(), e.core,
+                      static_cast<unsigned long long>(e.value),
+                      e.is_gauge ? " (gauge)" : "");
+      } else {
+        std::snprintf(line, sizeof(line), "%s.%s = %llu%s\n",
+                      e.component.c_str(), e.name.c_str(),
+                      static_cast<unsigned long long>(e.value),
+                      e.is_gauge ? " (gauge)" : "");
+      }
+      out += line;
+    }
+    return out;
+  }
+
+ private:
+  Entry* FindOrAdd(std::string_view component, std::string_view name, int core,
+                   bool gauge) {
+    for (Entry& e : entries_) {
+      if (e.core == core && e.component == component && e.name == name) {
+        return &e;
+      }
+    }
+    entries_.push_back(Entry{std::string(component), std::string(name), core,
+                             gauge, 0});
+    return &entries_.back();
+  }
+
+  std::deque<Entry> entries_;
+};
+
+}  // namespace utps::obs
+
+#endif  // UTPS_OBS_METRICS_H_

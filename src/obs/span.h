@@ -1,0 +1,45 @@
+// RAII virtual-time span: stamps the enclosing scope's [entry, exit] interval
+// (in the execution context's local virtual clock, i.e. engine time plus
+// locally accrued pending ns) into a Tracer as a Chrome "X" complete event.
+//
+// Safe in coroutines: the scope object lives in the coroutine frame, so the
+// end timestamp is taken when the scope is actually left, across any number
+// of co_await suspensions. A null tracer makes the scope a no-op, which is
+// how instrumented code stays free when tracing is disabled.
+#ifndef UTPS_OBS_SPAN_H_
+#define UTPS_OBS_SPAN_H_
+
+#include "obs/trace.h"
+#include "sim/exec.h"
+
+namespace utps::obs {
+
+class SpanScope {
+ public:
+  SpanScope(Tracer* tracer, const sim::ExecCtx& ctx, const char* cat,
+            const char* name, uint32_t pid, uint32_t tid)
+      : tracer_(tracer), ctx_(&ctx), cat_(cat), name_(name), pid_(pid),
+        tid_(tid), start_(tracer != nullptr ? ctx.Now() : 0) {}
+
+  ~SpanScope() {
+    if (tracer_ != nullptr) {
+      tracer_->Span(cat_, name_, pid_, tid_, start_, ctx_->Now());
+    }
+  }
+
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+ private:
+  Tracer* tracer_;
+  const sim::ExecCtx* ctx_;
+  const char* cat_;
+  const char* name_;
+  uint32_t pid_;
+  uint32_t tid_;
+  sim::Tick start_;
+};
+
+}  // namespace utps::obs
+
+#endif  // UTPS_OBS_SPAN_H_

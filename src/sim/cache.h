@@ -203,6 +203,17 @@ class MemoryModel {
 
   // ----------------------------------------------------------------- stats
   const CoreCounters& Counters(CoreId core) const { return counters_[core]; }
+
+  // Machine-wide totals across all cores and stages (the obs layer snapshots
+  // this into its metrics registry at report time).
+  StageCounters TotalCounters() const {
+    StageCounters t;
+    for (const CoreCounters& c : counters_) {
+      t.Add(c.Total());
+    }
+    return t;
+  }
+
   void ResetCounters() {
     for (auto& c : counters_) {
       c = CoreCounters{};
@@ -211,6 +222,7 @@ class MemoryModel {
   }
   uint64_t io_writes() const { return io_writes_; }
   uint64_t io_write_misses() const { return io_write_misses_; }
+  uint64_t io_reads() const { return io_reads_; }
 
   // Drop all cached state (used between benchmark points that share a
   // populated store).

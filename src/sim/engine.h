@@ -61,7 +61,14 @@ class [[nodiscard]] Fiber {
     }
     return *this;
   }
-  ~Fiber() = default;  // ownership transferred to Engine by Spawn
+  // A Fiber that was never handed to Engine::Spawn (or was moved-from and
+  // dropped) still owns its coroutine frame and must destroy it; Spawn takes
+  // ownership via release(), leaving h_ empty.
+  ~Fiber() {
+    if (h_) {
+      h_.destroy();
+    }
+  }
 
   Handle release() { return std::exchange(h_, {}); }
 
@@ -71,6 +78,14 @@ class [[nodiscard]] Fiber {
 
 class Engine {
  public:
+  // Always-on scheduler statistics (one add per event; snapshotted by the
+  // observability layer at report time).
+  struct Stats {
+    uint64_t events_processed = 0;  // coroutine resumptions dispatched
+    uint64_t events_scheduled = 0;
+    size_t peak_heap = 0;           // max simultaneous pending events
+  };
+
   Engine() = default;
   ~Engine() { DestroyFibers(); }
   Engine(const Engine&) = delete;
@@ -82,6 +97,10 @@ class Engine {
   void ScheduleAt(Tick t, std::coroutine_handle<> h) {
     UTPS_DCHECK(t >= now_);
     heap_.push(Event{t, seq_++, h});
+    stats_.events_scheduled++;
+    if (heap_.size() > stats_.peak_heap) {
+      stats_.peak_heap = heap_.size();
+    }
   }
 
   // Register and start a top-level simulated thread; first resumption happens
@@ -101,6 +120,7 @@ class Engine {
       Event ev = heap_.top();
       heap_.pop();
       now_ = ev.t;
+      stats_.events_processed++;
       ev.h.resume();
     }
     if (now_ < until) {
@@ -116,12 +136,14 @@ class Engine {
       Event ev = heap_.top();
       heap_.pop();
       now_ = ev.t;
+      stats_.events_processed++;
       ev.h.resume();
     }
   }
 
   uint64_t live_fibers() const { return live_fibers_; }
   bool idle() const { return heap_.empty(); }
+  const Stats& stats() const { return stats_; }
 
  private:
   struct Event {
@@ -147,6 +169,7 @@ class Engine {
 
   Tick now_ = 0;
   uint64_t seq_ = 0;
+  Stats stats_;
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> heap_;
   std::vector<Fiber::Handle> fibers_;
   uint64_t live_fibers_ = 0;

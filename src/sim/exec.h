@@ -62,6 +62,12 @@ struct ExecCtx {
   bool stop = false;      // cooperative shutdown flag
   BatchCtl* batch = nullptr;  // non-null while driving a coroutine batch
 
+  // Cycle accounting (obs layer): when non-null, points to a kNumStages-long
+  // array of per-stage virtual-ns accumulators for this core. Every charged
+  // cost — CPU work, cache latencies, fill stalls, delays — is attributed to
+  // the Stage active when it is incurred. Null when observability is off.
+  Tick* stage_ns = nullptr;
+
   // Flat per-line cost for contexts without a cache model (client machines).
   Tick flat_line_ns = 4;
 
@@ -71,23 +77,28 @@ struct ExecCtx {
   Tick Now() const { return eng->now() + pending; }
 
   // Pure CPU work (parsing, arithmetic); never suspends by itself.
-  void Charge(Tick ns) { pending += ns; }
+  void Charge(Tick ns) {
+    pending += ns;
+    if (stage_ns != nullptr) {
+      stage_ns[static_cast<unsigned>(stage)] += ns;
+    }
+  }
 
   // Modeled memory access. Suspends on anything beyond a private-cache hit.
   SuspendAwaiter Access(const void* p, size_t len, bool write, bool rmw = false) {
     if (mem == nullptr) {
       const size_t lines = 1 + (len == 0 ? 0 : (len - 1) / kCachelineBytes);
-      pending += flat_line_ns * lines + (rmw ? 10 : 0);
+      Charge(flat_line_ns * lines + (rmw ? 10 : 0));
       return MaybeFast();
     }
     const AccessResult r = mem->Access(core, clos, stage, p, len, write, rmw);
     if (r.private_hit && !rmw) {
-      pending += r.latency;
+      Charge(r.latency);
       return MaybeFast();
     }
     // The fill stall (r.latency) can be overlapped by batched execution; the
     // per-miss CPU overhead cannot and is charged serially.
-    pending += mem->config().miss_cpu_ns;
+    Charge(mem->config().miss_cpu_ns);
     return SuspendAwaiter{this, r.latency, false};
   }
 
@@ -120,6 +131,13 @@ struct ExecCtx {
 inline void SuspendAwaiter::await_suspend(std::coroutine_handle<> h) noexcept {
   const Tick t = ctx->eng->now() + ctx->pending + extra;
   ctx->fast_ops = 0;
+  // Attribute the suspension's own cost (fill stall / delay) to the stage
+  // that incurred it. For batch-parked fills this books the full stall even
+  // though fills overlap — cycle accounting reports memory-stall exposure,
+  // not wall time (which the engine itself provides).
+  if (ctx->stage_ns != nullptr) {
+    ctx->stage_ns[static_cast<unsigned>(ctx->stage)] += extra;
+  }
   if (batchable && ctx->batch != nullptr) {
     // Park in the batch: only the fill stall (`extra`) overlaps with other
     // coroutines. The accrued CPU time (ctx->pending) stays on the core

@@ -107,6 +107,9 @@ class Nic {
     rx_messages_++;
     rx_bytes_ += msg.wire_bytes;
     rings_[ring].push_back(msg);
+    if (rings_[ring].size() > peak_ring_depth_) {
+      peak_ring_depth_ = rings_[ring].size();  // ingress queueing high-water
+    }
   }
 
   // Pop the next message that has arrived at the server by `now`.
@@ -205,6 +208,7 @@ class Nic {
   uint64_t tx_messages() const { return tx_messages_; }
   uint64_t rx_bytes() const { return rx_bytes_; }
   uint64_t tx_bytes() const { return tx_bytes_; }
+  size_t peak_ring_depth() const { return peak_ring_depth_; }
 
   MemoryModel* mem() const { return mem_; }
   Engine* engine() const { return eng_; }
@@ -220,6 +224,7 @@ class Nic {
   uint64_t tx_messages_ = 0;
   uint64_t rx_bytes_ = 0;
   uint64_t tx_bytes_ = 0;
+  size_t peak_ring_depth_ = 0;
 };
 
 }  // namespace utps::sim

@@ -72,7 +72,7 @@ class SimSpinlock {
       // Charge the atomic access on the lock word.
       const AccessResult r =
           ctx->mem != nullptr
-              ? ctx->mem->Access(ctx->core, ctx->clos, ctx->stage, &l->held_, 8,
+              ? ctx->mem->Access(ctx->core, ctx->clos, ctx->stage, l->word(), 8,
                                  true, /*rmw=*/true)
               : AccessResult{15, false};
       const Tick t = ctx->eng->now() + ctx->pending + r.latency;
@@ -92,9 +92,15 @@ class SimSpinlock {
 
   AcquireAwaiter Acquire(ExecCtx& ctx) { return AcquireAwaiter{this, &ctx}; }
 
+  // Binds the cacheline the lock's coherence traffic is modeled at. A lock
+  // embedded in a host-heap object must bind an arena word: modeled set
+  // indices may not depend on host heap addresses (see sim/arena.h), or
+  // cache behaviour varies with ASLR and allocator reuse.
+  void BindModeledWord(const void* w) { word_ = w; }
+
   // Try to take the lock without waiting; charges the RMW either way.
   SuspendAwaiter TryAcquire(ExecCtx& ctx, bool* acquired) {
-    auto aw = ctx.Rmw(&held_);
+    auto aw = ctx.Rmw(word());
     if (!held_) {
       held_ = true;
       owner_ = ctx.core;
@@ -126,7 +132,12 @@ class SimSpinlock {
  private:
   static constexpr CoreId kNoOwner = 0xffff;
 
-  // The lock word; its own address is the modeled cacheline.
+  const void* word() const {
+    return word_ != nullptr ? word_ : static_cast<const void*>(&held_);
+  }
+
+  // The modeled cacheline: the bound arena word, else the lock word itself.
+  const void* word_ = nullptr;
   alignas(kCachelineBytes) bool held_ = false;
   CoreId owner_ = kNoOwner;
   std::deque<std::coroutine_handle<>> waiters_;

@@ -6,6 +6,7 @@
 #ifndef UTPS_STATS_HISTOGRAM_H_
 #define UTPS_STATS_HISTOGRAM_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -68,14 +69,19 @@ class Histogram {
     uint64_t seen = 0;
     for (unsigned i = 0; i < kNumBuckets; i++) {
       if (seen + counts_[i] > target) {
-        // Interpolate within the bucket.
+        // Interpolate within the bucket. The interpolated point can overshoot
+        // the largest (or undershoot the smallest) value actually recorded —
+        // e.g. many identical values part-way into a bucket — so clamp to the
+        // observed [min_, max_] range.
         const uint64_t lo = BucketLow(i);
         const uint64_t hi = BucketHigh(i);
         const double frac = counts_[i] == 0
                                 ? 0.0
                                 : static_cast<double>(target - seen) /
                                       static_cast<double>(counts_[i]);
-        return lo + static_cast<uint64_t>(frac * static_cast<double>(hi - lo));
+        const uint64_t v =
+            lo + static_cast<uint64_t>(frac * static_cast<double>(hi - lo));
+        return std::clamp(v, min_, max_);
       }
       seen += counts_[i];
     }

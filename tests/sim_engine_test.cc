@@ -107,6 +107,101 @@ TEST(Engine, RunStopsAtLimitAndResumes) {
   EXPECT_EQ(log.size(), 2u);
 }
 
+// A Fiber that is created but never handed to Engine::Spawn must destroy its
+// coroutine frame (regression: ~Fiber() used to be defaulted, leaking the
+// frame). Coroutine parameters are copied into the frame, so a counting
+// parameter type observes whether the frame was destroyed — this catches the
+// leak even though FramePool free-listing would hide it from ASan.
+struct Token {
+  int* live;
+  explicit Token(int* l) : live(l) { (*live)++; }
+  Token(const Token& o) : live(o.live) { (*live)++; }
+  ~Token() { (*live)--; }
+};
+
+Fiber TokenFiber(Token t) {
+  (void)t;
+  co_return;
+}
+
+TEST(Engine, DroppedFiberDestroysItsFrame) {
+  int live = 0;
+  {
+    Fiber f = TokenFiber(Token{&live});
+    EXPECT_GT(live, 0);  // frame holds a parameter copy
+  }
+  EXPECT_EQ(live, 0);
+}
+
+TEST(Engine, MoveAssignedOverFiberDestroysItsFrame) {
+  int live_a = 0;
+  int live_b = 0;
+  {
+    Fiber f = TokenFiber(Token{&live_a});
+    f = TokenFiber(Token{&live_b});  // must destroy a's frame
+    EXPECT_EQ(live_a, 0);
+    EXPECT_GT(live_b, 0);
+  }
+  EXPECT_EQ(live_b, 0);
+}
+
+TEST(Engine, SpawnedFiberStillRunsAfterDtorFix) {
+  int live = 0;
+  bool ran = false;
+  {
+    Engine eng;
+    auto fib = [](Token t, bool* flag) -> Fiber {
+      (void)t;
+      *flag = true;
+      co_return;
+    };
+    eng.Spawn(fib(Token{&live}, &ran));  // Spawn takes ownership via release()
+    eng.RunToQuiescence(kSec);
+    EXPECT_TRUE(ran);
+  }
+  // The engine owns spawned frames and destroys them in its destructor; no
+  // double-destroy from the (now frame-destroying) ~Fiber.
+  EXPECT_EQ(live, 0);
+}
+
+// Fibers scheduled for the same tick resume in scheduling (spawn) order: the
+// event heap breaks timestamp ties with a FIFO sequence number.
+Fiber OrderProbe(ExecCtx* ctx, int id, std::vector<int>* order) {
+  order->push_back(id);            // first resumption, all at t=0
+  co_await ctx->Delay(10);
+  order->push_back(id);            // all re-resume at t=10
+}
+
+TEST(Engine, SameTickEventsResumeInFifoOrder) {
+  Engine eng;
+  constexpr int kN = 8;
+  std::vector<ExecCtx> ctxs(kN);
+  std::vector<int> order;
+  for (int i = 0; i < kN; i++) {
+    ctxs[i] = ExecCtx{.eng = &eng};
+    eng.Spawn(OrderProbe(&ctxs[i], i, &order));
+  }
+  eng.RunToQuiescence(kSec);
+  ASSERT_EQ(order.size(), 2u * kN);
+  for (int i = 0; i < kN; i++) {
+    EXPECT_EQ(order[i], i) << "first round, slot " << i;
+    EXPECT_EQ(order[kN + i], i) << "second round, slot " << i;
+  }
+}
+
+TEST(Engine, StatsCountEventsAndPeakHeap) {
+  Engine eng;
+  ExecCtx ctx{.eng = &eng};
+  std::vector<Tick> log;
+  eng.Spawn(DelayFiber(&ctx, &log));
+  eng.RunToQuiescence(kSec);
+  const Engine::Stats& s = eng.stats();
+  // Spawn + two delays = 3 scheduled and 3 processed resumptions.
+  EXPECT_EQ(s.events_scheduled, 3u);
+  EXPECT_EQ(s.events_processed, 3u);
+  EXPECT_GE(s.peak_heap, 1u);
+}
+
 // Teardown of blocked fibers must not leak or crash.
 Fiber BlockedForever(ExecCtx* ctx, WaitQueue* wq, bool* destroyed) {
   struct Sentinel {

@@ -61,6 +61,35 @@ TEST(Histogram, HugeValuesClampToLastBucket) {
   EXPECT_GT(h.Percentile(0.5), 0u);
 }
 
+// Regression: in-bucket interpolation used to overshoot the observed maximum
+// (many identical values land part-way into one bucket, so a high quantile
+// interpolated past them). Percentiles must stay within [min, max].
+TEST(Histogram, PercentileNeverExceedsObservedRange) {
+  Histogram h;
+  for (int i = 0; i < 1000; i++) {
+    h.Record(1'000'000);
+  }
+  for (double q : {0.0, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_EQ(h.Percentile(q), 1'000'000u) << "q=" << q;
+  }
+
+  Histogram mixed;
+  Rng rng(7);
+  uint64_t lo = UINT64_MAX;
+  uint64_t hi = 0;
+  for (int i = 0; i < 5000; i++) {
+    const uint64_t v = 500 + rng.NextBounded(100000);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+    mixed.Record(v);
+  }
+  for (double q : {0.001, 0.01, 0.5, 0.99, 0.999}) {
+    const uint64_t p = mixed.Percentile(q);
+    EXPECT_GE(p, lo) << "q=" << q;
+    EXPECT_LE(p, hi) << "q=" << q;
+  }
+}
+
 TEST(TimeSeries, BucketsByTime) {
   TimeSeries ts(1000);
   ts.Add(100);
@@ -72,6 +101,24 @@ TEST(TimeSeries, BucketsByTime) {
   EXPECT_EQ(ts.buckets()[1], 1u);
   EXPECT_EQ(ts.buckets()[2], 1u);
   EXPECT_DOUBLE_EQ(ts.RateAt(0), 2e6);  // 2 events per microsecond bucket
+}
+
+// Regression: a single event stamped far in the virtual future used to
+// resize the bucket vector to its index (gigabytes). Events beyond the cap
+// now saturate into the last bucket and are tallied as overflow.
+TEST(TimeSeries, CapsBucketsAndCountsOverflow) {
+  TimeSeries ts(1000);
+  ts.Add(500);                  // normal event
+  ts.Add(UINT64_MAX / 2, 3);    // absurd timestamp: must not explode memory
+  ts.Add(UINT64_MAX, 2);
+  EXPECT_EQ(ts.NumBuckets(), TimeSeries::kMaxBuckets);
+  EXPECT_EQ(ts.overflow(), 5u);
+  EXPECT_EQ(ts.buckets()[0], 1u);
+  EXPECT_EQ(ts.buckets()[TimeSeries::kMaxBuckets - 1], 5u);
+  // In-range events still work after saturation.
+  ts.Add(1500);
+  EXPECT_EQ(ts.buckets()[1], 1u);
+  EXPECT_EQ(ts.overflow(), 5u);
 }
 
 // -------------------------------------------------- seqlock property tests
