@@ -5,8 +5,15 @@
 #
 # MUTPS_ASAN=1 first builds and runs the test suite under ASan+UBSan (preset
 # "asan", build-asan/) before touching the benches — the sanitizer CI job.
+#
+# MUTPS_DST=1 first runs the correctness-checking harness (DST seed sweep +
+# mutation smoke-check) under the asan preset via run_checks.sh (DESIGN.md §8).
 set -u
 cd "$(dirname "$0")"
+
+if [ "${MUTPS_DST:-0}" != "0" ]; then
+  MUTPS_DST=1 ./run_checks.sh || exit 1
+fi
 
 if [ "${MUTPS_ASAN:-0}" != "0" ]; then
   echo "=== ASan+UBSan build + tests (preset asan) ==="

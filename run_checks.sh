@@ -1,0 +1,29 @@
+#!/bin/bash
+# Runs the correctness-checking suite (DESIGN.md §8): the DST seed sweep,
+# the CR-MR ring / store probe tests, and the mutation smoke-check.
+#
+# Default: build the "default" preset and run the checks at the CI seed
+# budget (20 seeds per workload per system).
+#
+# MUTPS_DST=1       additionally builds the "asan" preset and repeats a short
+#                   seed sweep with sanitizers + invariant probes on — the
+#                   sanitizer CI job for the checking harness.
+# MUTPS_DST_SEEDS=N overrides the seed count (the ASan leg defaults to 6
+#                   because each simulated run is ~10x slower under ASan).
+set -eu
+cd "$(dirname "$0")"
+
+CHECKS='dst_test|dst_determinism_test|dst_mutation_test|crmr_queue_test|store_test'
+
+cmake --preset default >/dev/null
+cmake --build --preset default -j "$(nproc)"
+ctest --preset default -R "$CHECKS" -j "$(nproc)"
+
+if [ "${MUTPS_DST:-0}" != "0" ]; then
+  echo "=== DST short sweep under ASan+UBSan (preset asan) ==="
+  cmake --preset asan >/dev/null
+  cmake --build --preset asan -j "$(nproc)"
+  MUTPS_DST_SEEDS="${MUTPS_DST_SEEDS:-6}" \
+    ctest --preset asan -R "$CHECKS" -j "$(nproc)"
+  echo "=== sanitized DST sweep passed ==="
+fi

@@ -1,0 +1,108 @@
+// History recording at the KV API boundary (DST harness).
+//
+// Client fibers record an invocation/response event pair for every operation
+// they issue, timestamped in virtual time. Values are self-describing: every
+// put writes a unique 64-bit stamp in the first 8 bytes (remaining bytes are
+// a deterministic function of the stamp, see StampFill), so a response can be
+// mapped back to the exact write that produced it — which is what makes
+// per-key linearizability checking tractable (every write is distinct).
+#ifndef UTPS_CHECK_HISTORY_H_
+#define UTPS_CHECK_HISTORY_H_
+
+#include <cstdint>
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/rng.h"
+#include "sim/types.h"
+#include "store/kv.h"
+
+namespace utps::check {
+
+enum class OpKind : uint8_t { kGet = 0, kPut = 1, kDelete = 2, kScan = 3 };
+
+// A unique write stamp: (key+1) in the high bits so a scan entry identifies
+// its key even when responses are not key-tagged, plus the writer identity.
+// writer == 0 is reserved for database population.
+inline uint64_t MakeStamp(Key key, uint32_t writer) {
+  return ((key + 1) << 24) | writer;
+}
+inline Key StampKey(uint64_t stamp) { return (stamp >> 24) - 1; }
+
+// Fills `len` value bytes (len >= 8) from a stamp: stamp first, then bytes
+// derived by mixing, so torn values are detectable byte-by-byte.
+inline void StampFill(uint8_t* dst, uint32_t len, uint64_t stamp) {
+  UTPS_DCHECK(len >= 8);
+  std::memcpy(dst, &stamp, 8);
+  for (uint32_t i = 8; i < len; i++) {
+    dst[i] = static_cast<uint8_t>(Mix64(stamp + i));
+  }
+}
+
+// Parses a value back to its stamp; returns 0 (never a valid stamp) if the
+// bytes are not an intact StampFill image — i.e. the value is torn/corrupt.
+inline uint64_t StampParse(const uint8_t* src, uint32_t len) {
+  if (len < 8) {
+    return 0;
+  }
+  uint64_t stamp;
+  std::memcpy(&stamp, src, 8);
+  if (stamp == 0) {
+    return 0;
+  }
+  for (uint32_t i = 8; i < len; i++) {
+    if (src[i] != static_cast<uint8_t>(Mix64(stamp + i))) {
+      return 0;
+    }
+  }
+  return stamp;
+}
+
+struct OpRecord {
+  OpKind kind;
+  uint16_t client = 0;
+  Key key = 0;    // get/put/delete key; scan lower bound
+  Key upper = 0;  // scan upper bound (inclusive)
+  // put: stamp written. get: stamp read (0 = absent OR torn value; torn is
+  // distinguished by `corrupt`).
+  uint64_t stamp = 0;
+  bool corrupt = false;       // get/scan returned bytes that parse to no stamp
+  uint32_t scan_count = 0;    // scan: requested entry limit
+  std::vector<uint64_t> scan_stamps;  // scan: parsed entries in response order
+  sim::Tick inv = 0;
+  sim::Tick resp = 0;
+};
+
+struct History {
+  // Populate stamps: key -> stamp written by population (writer 0). Keys not
+  // listed are initially absent.
+  std::unordered_map<Key, uint64_t> initial;
+  std::vector<OpRecord> ops;
+
+  void RecordPut(uint16_t client, Key key, uint64_t stamp, sim::Tick inv,
+                 sim::Tick resp) {
+    ops.push_back(OpRecord{OpKind::kPut, client, key, 0, stamp, false, 0, {},
+                           inv, resp});
+  }
+  void RecordGet(uint16_t client, Key key, uint64_t stamp, bool corrupt,
+                 sim::Tick inv, sim::Tick resp) {
+    ops.push_back(OpRecord{OpKind::kGet, client, key, 0, stamp, corrupt, 0, {},
+                           inv, resp});
+  }
+  void RecordDelete(uint16_t client, Key key, sim::Tick inv, sim::Tick resp) {
+    ops.push_back(
+        OpRecord{OpKind::kDelete, client, key, 0, 0, false, 0, {}, inv, resp});
+  }
+  void RecordScan(uint16_t client, Key lo, Key hi, uint32_t count,
+                  std::vector<uint64_t> stamps, bool corrupt, sim::Tick inv,
+                  sim::Tick resp) {
+    ops.push_back(OpRecord{OpKind::kScan, client, lo, hi, 0, corrupt, count,
+                           std::move(stamps), inv, resp});
+  }
+};
+
+}  // namespace utps::check
+
+#endif  // UTPS_CHECK_HISTORY_H_

@@ -1,0 +1,67 @@
+// Quiesce-time invariant auditing (DST harness entry point).
+//
+// The probes themselves live next to the data structures they guard:
+//   - CrMrRing::Advance{Head,Tail} occupancy DCHECKs + AuditQuiesced
+//     (core/crmr_queue.h)
+//   - SlabAllocator live-pointer set under UTPS_INVARIANTS + AuditLive
+//     (store/slab.h)
+//   - KvIndex::AuditDirect structural audits (index/cuckoo.cc, index/btree.cc)
+//   - HotSetManager::AuditEpochs + the manager-side epoch-safety DCHECK
+//     (hotset/hotset.h, core/mutps.cc)
+//   - MuTpsServer::AuditQuiesced (core/mutps.cc)
+//
+// This header only aggregates their results into one report so test drivers
+// have a single call to make after the engine quiesces.
+#ifndef UTPS_CHECK_INVARIANTS_H_
+#define UTPS_CHECK_INVARIANTS_H_
+
+#include <string>
+#include <vector>
+
+#include "index/index.h"
+#include "store/slab.h"
+
+namespace utps::check {
+
+struct AuditReport {
+  std::vector<std::string> failures;
+
+  bool ok() const { return failures.empty(); }
+  std::string Joined() const {
+    std::string s;
+    for (const auto& f : failures) {
+      if (!s.empty()) {
+        s += "; ";
+      }
+      s += f;
+    }
+    return s;
+  }
+};
+
+// Audits the storage stack shared by every server type. `expected_live` is
+// the slab occupancy the caller can predict, or UINT64_MAX to only require
+// live >= index size (erase and re-insert paths defer reclamation, so exact
+// accounting needs a workload without deletes or value growth).
+inline void AuditStore(const KvIndex& index, const SlabAllocator& slab,
+                       uint64_t expected_live, AuditReport* rep) {
+  std::string err;
+  if (!index.AuditDirect(&err)) {
+    rep->failures.push_back(err);
+  }
+  if (expected_live != UINT64_MAX) {
+    if (!slab.AuditLive(expected_live)) {
+      rep->failures.push_back(
+          "slab: live_items=" + std::to_string(slab.live_items()) +
+          " expected " + std::to_string(expected_live));
+    }
+  } else if (slab.live_items() < index.SizeDirect()) {
+    rep->failures.push_back(
+        "slab: live_items=" + std::to_string(slab.live_items()) +
+        " < index size " + std::to_string(index.SizeDirect()));
+  }
+}
+
+}  // namespace utps::check
+
+#endif  // UTPS_CHECK_INVARIANTS_H_

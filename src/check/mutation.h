@@ -1,0 +1,70 @@
+// Mutation smoke-check hooks (tests/dst/dst_mutation_test.cc).
+//
+// Two seeded bugs can be reintroduced into the concurrency machinery to prove
+// the DST harness detects real defects. The hook sites compile to nothing
+// unless MUTPS_MUTATION is defined; the mutation test builds its own copies of
+// the affected translation units with that flag, so the library and every
+// other binary are unaffected. Which bug is active is a runtime mode so one
+// binary covers both mutations plus a clean control run.
+#ifndef UTPS_CHECK_MUTATION_H_
+#define UTPS_CHECK_MUTATION_H_
+
+#include <cstdint>
+
+namespace utps::mut {
+
+enum class Mode : uint8_t {
+  kNone = 0,
+  // ItemWrite's locked path skips both seqlock ctrl bumps: readers no longer
+  // see an odd/changed version around the write and can return a torn value.
+  kDropSeqlockBump = 1,
+  // MrProcessSlot skips one AdvanceTail: the batch's completion signal never
+  // reaches the CR worker, so its responses (and every later batch on that
+  // ring) are never sent — ops hang and the ring fails its quiesce audit.
+  kSkipRingTailPublish = 2,
+};
+
+inline Mode g_mode = Mode::kNone;
+
+// kSkipRingTailPublish drops the Nth tail publish (1-based); a small N keeps
+// detection within the CI seed budget.
+inline uint64_t g_tail_publish_skip_at = 5;
+inline uint64_t g_tail_publish_count = 0;
+
+// Number of times the active mutation actually fired (diagnostic: a mutation
+// that never fires cannot be detected).
+inline uint64_t g_fired = 0;
+
+inline void Reset(Mode m) {
+  g_mode = m;
+  g_tail_publish_count = 0;
+  g_fired = 0;
+}
+
+#ifdef MUTPS_MUTATION
+inline bool DropSeqlockBump() {
+  if (g_mode != Mode::kDropSeqlockBump) {
+    return false;
+  }
+  g_fired++;
+  return true;
+}
+
+inline bool SkipRingTailPublish() {
+  if (g_mode != Mode::kSkipRingTailPublish) {
+    return false;
+  }
+  if (++g_tail_publish_count != g_tail_publish_skip_at) {
+    return false;
+  }
+  g_fired++;
+  return true;
+}
+#else
+inline constexpr bool DropSeqlockBump() { return false; }
+inline constexpr bool SkipRingTailPublish() { return false; }
+#endif
+
+}  // namespace utps::mut
+
+#endif  // UTPS_CHECK_MUTATION_H_

@@ -37,6 +37,16 @@
 #define UTPS_DCHECK(cond) UTPS_CHECK(cond)
 #endif
 
+// Invariant probes (src/check): bookkeeping that is too expensive for release
+// benchmarking builds (slab live-pointer sets, ring occupancy cross-checks)
+// but always on in debug/ASan builds. UTPS_FORCE_INVARIANTS lets a test
+// binary opt in regardless of NDEBUG.
+#if !defined(NDEBUG) || defined(UTPS_FORCE_INVARIANTS)
+#define UTPS_INVARIANTS 1
+#else
+#define UTPS_INVARIANTS 0
+#endif
+
 namespace utps {
 
 // Cacheline size assumed throughout the cache model and data layouts.

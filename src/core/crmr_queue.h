@@ -86,11 +86,29 @@ class CrMrRing {
 
   uint64_t head() const { return ctl_->head; }
   uint64_t tail() const { return ctl_->tail; }
-  void AdvanceHead() { ctl_->head++; }
-  void AdvanceTail() { ctl_->tail++; }
+
+  // Occupancy probes: the producer's flow control (against its own completion
+  // cursor, which trails `tail`) guarantees head-tail can never reach the
+  // slot count, and the consumer must never complete slots the producer has
+  // not published.
+  void AdvanceHead() {
+    UTPS_DCHECK(ctl_->head - ctl_->tail < kNumSlots);
+    ctl_->head++;
+  }
+  void AdvanceTail() {
+    UTPS_DCHECK(ctl_->tail < ctl_->head);
+    ctl_->tail++;
+  }
 
   const uint64_t* head_addr() const { return &ctl_->head; }
   const uint64_t* tail_addr() const { return &ctl_->tail; }
+
+  // Quiesce audit: with no requests in flight the tail-pointer piggyback must
+  // have caught up with the head (every published batch completed). Returns
+  // false instead of aborting so test drivers can report which ring failed.
+  bool AuditQuiesced() const {
+    return ctl_ == nullptr || ctl_->head == ctl_->tail;
+  }
 
  private:
   Slot* slots_ = nullptr;

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <string>
 
+#include "check/mutation.h"
 #include "common/rng.h"
 #include "store/item.h"
 
@@ -615,7 +616,9 @@ Task<void> MuTpsServer::MrProcessSlot(unsigned idx, unsigned producer,
   // of the batch are in place (§3.4).
   {
     StageScope s(ctx, Stage::kQueue);
-    r.AdvanceTail();
+    if (!mut::SkipRingTailPublish()) {
+      r.AdvanceTail();
+    }
     co_await ctx.Write(r.tail_addr(), 8);
   }
 }
@@ -677,6 +680,10 @@ Task<void> MuTpsServer::RefreshHotSet(uint32_t k) {
   const uint32_t samples = hot_->DrainSamples();
   // Sketch/top-K maintenance cost on the management core.
   co_await ctx.Delay(100 + samples * 25ull);
+  // Epoch-switch safety: the inactive buffer may only be rebuilt once every
+  // worker has acked the published epoch (otherwise a CR worker could still
+  // be reading the buffer we are about to clear).
+  UTPS_DCHECK(stop_ || hot_->AllWorkersAt(hot_->epoch()));
   hot_->BuildAndPublish(std::min(k, HotSetManager::kMaxHot),
                         [this](Key key) { return env_.index->GetDirect(key); });
   co_await ctx.Delay(2 * sim::kUsec + uint64_t{k} * 40);
@@ -871,6 +878,45 @@ void MuTpsServer::DebugDump() const {
                  (unsigned long long)w.outstanding, (unsigned long long)staged,
                  (unsigned long long)ring_in, (unsigned long long)w.ops);
   }
+}
+
+bool MuTpsServer::AuditQuiesced(std::string* err) const {
+  auto fail = [err](std::string msg) {
+    if (err != nullptr) {
+      *err = "mutps: " + std::move(msg);
+    }
+    return false;
+  };
+  const unsigned w = env_.num_workers;
+  for (unsigned p = 0; p < w; p++) {
+    for (unsigned c = 0; c < w; c++) {
+      const CrMrRing& r = rings_[size_t{p} * w + c];
+      if (!r.AuditQuiesced()) {
+        return fail("ring (" + std::to_string(p) + "," + std::to_string(c) +
+                    ") head=" + std::to_string(r.head()) +
+                    " tail=" + std::to_string(r.tail()) + " at quiesce");
+      }
+    }
+  }
+  for (unsigned i = 0; i < w; i++) {
+    const Worker& wk = workers_[i];
+    for (unsigned t = 0; t < wk.staging.size(); t++) {
+      if (!wk.staging[t].descs.empty()) {
+        return fail("worker " + std::to_string(i) + " has " +
+                    std::to_string(wk.staging[t].descs.size()) +
+                    " staged descriptors at quiesce");
+      }
+    }
+    if (wk.outstanding != 0) {
+      return fail("worker " + std::to_string(i) + " has " +
+                  std::to_string(wk.outstanding) +
+                  " uncompleted forwarded requests at quiesce");
+    }
+  }
+  if (!hot_->AuditEpochs(err)) {
+    return false;
+  }
+  return true;
 }
 
 }  // namespace utps

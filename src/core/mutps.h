@@ -97,6 +97,12 @@ class MuTpsServer final : public KvServer {
   // Diagnostic dump of worker / queue state (stderr).
   void DebugDump() const;
 
+  // Quiesce audit (DST harness): with all clients done and the engine idle,
+  // every CR-MR ring must show head == tail, all staged descriptors must be
+  // flushed, no forwarded request may be uncompleted, and the hot-set epoch
+  // bookkeeping must be consistent. Returns false with a description in `err`.
+  bool AuditQuiesced(std::string* err) const;
+
  private:
   struct Config {
     unsigned ncr = 1;

@@ -17,6 +17,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "common/macros.h"
@@ -261,6 +262,43 @@ class HotSetManager {
   }
 
   uint32_t ActiveCount() const { return arrays_[epoch_ & 1].count; }
+
+  // Epoch-switch safety audit. The double-buffering contract is: the manager
+  // may only touch the inactive buffer once every worker has acked the
+  // current epoch, and no worker may ever be ahead of the published epoch.
+  // `err` describes the violation on failure.
+  bool AuditEpochs(std::string* err) const {
+    for (unsigned w = 0; w < num_workers_; w++) {
+      if (worker_epochs_[w] > epoch_) {
+        if (err != nullptr) {
+          *err = "hotset: worker " + std::to_string(w) +
+                 " acked epoch ahead of published epoch";
+        }
+        return false;
+      }
+    }
+    // The active array must be sorted and duplicate-free (binary-search
+    // contract), and the active filter must contain exactly its keys.
+    const HotArray& ha = arrays_[epoch_ & 1];
+    const HotFilter& hf = filters_[epoch_ & 1];
+    for (uint32_t i = 0; i + 1 < ha.count; i++) {
+      if (ha.entries[i].key >= ha.entries[i + 1].key) {
+        if (err != nullptr) {
+          *err = "hotset: active array not strictly sorted";
+        }
+        return false;
+      }
+    }
+    for (uint32_t i = 0; i < ha.count; i++) {
+      if (!hf.ContainsDirect(ha.entries[i].key)) {
+        if (err != nullptr) {
+          *err = "hotset: active filter missing hot key";
+        }
+        return false;
+      }
+    }
+    return true;
+  }
 
  private:
   unsigned num_workers_;

@@ -1,6 +1,7 @@
 #include "index/btree.h"
 
 #include <algorithm>
+#include <string>
 
 namespace utps {
 
@@ -573,6 +574,108 @@ sim::Task<uint32_t> BTreeIndex::CoScan(sim::ExecCtx& ctx, Key lo, Key hi,
     n = n->right;
   }
   co_return cnt;
+}
+
+namespace {
+bool BtFail(std::string* err, std::string msg) {
+  if (err != nullptr) {
+    *err = "btree: " + std::move(msg);
+  }
+  return false;
+}
+}  // namespace
+
+bool BTreeIndex::AuditNode(const Node* n, unsigned depth, const Key* lo,
+                           const Key* hi, uint64_t* counted,
+                           std::vector<const Node*>* leaves,
+                           std::string* err) const {
+  if (n->version & 1) {
+    return BtFail(err, "node seqlock odd at quiesce");
+  }
+  if (n->nkeys > kFanout) {
+    return BtFail(err, "nkeys out of range");
+  }
+  // has_high marks exactly the nodes with a bounded key range, and the bound
+  // must agree with the separator the parent routes by.
+  if ((n->has_high != 0) != (hi != nullptr)) {
+    return BtFail(err, "has_high inconsistent with parent separator");
+  }
+  if (hi != nullptr && n->high_key != *hi) {
+    return BtFail(err, "high_key != parent separator");
+  }
+  for (unsigned i = 0; i < n->nkeys; i++) {
+    const Key k = n->keys[i];
+    if (i > 0 && n->keys[i - 1] >= k) {
+      return BtFail(err, "keys not strictly ascending in node");
+    }
+    if (lo != nullptr && k < *lo) {
+      return BtFail(err, "key below subtree lower bound");
+    }
+    if (hi != nullptr && k >= *hi) {
+      return BtFail(err, "key >= subtree upper bound");
+    }
+  }
+  if (n->is_leaf) {
+    if (depth != height_) {
+      return BtFail(err, "leaf at wrong depth (unbalanced tree)");
+    }
+    for (unsigned i = 0; i < n->nkeys; i++) {
+      const Item* it = static_cast<const Item*>(n->ptrs[i]);
+      if (it == nullptr) {
+        return BtFail(err, "null item in leaf");
+      }
+      if (it->key != n->keys[i]) {
+        return BtFail(err, "leaf slot key != item key");
+      }
+      if (it->ctrl & 1) {
+        return BtFail(err, "item seqlock odd at quiesce, key " +
+                               std::to_string(n->keys[i]));
+      }
+    }
+    *counted += n->nkeys;
+    leaves->push_back(n);
+    return true;
+  }
+  if (n->nkeys == 0) {
+    return BtFail(err, "internal node with no separators");
+  }
+  for (unsigned i = 0; i <= n->nkeys; i++) {
+    const Node* c = static_cast<const Node*>(n->ptrs[i]);
+    if (c == nullptr) {
+      return BtFail(err, "null child pointer");
+    }
+    const Key* clo = i == 0 ? lo : &n->keys[i - 1];
+    const Key* chi = i == n->nkeys ? hi : &n->keys[i];
+    if (!AuditNode(c, depth + 1, clo, chi, counted, leaves, err)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool BTreeIndex::AuditDirect(std::string* err) const {
+  if (root_ == nullptr || *root_word_ != root_) {
+    return BtFail(err, "root pointer / arena mirror mismatch");
+  }
+  uint64_t counted = 0;
+  std::vector<const Node*> leaves;
+  if (!AuditNode(root_, 1, nullptr, nullptr, &counted, &leaves, err)) {
+    return false;
+  }
+  if (counted != size_) {
+    return BtFail(err, "size_=" + std::to_string(size_) + " but counted " +
+                           std::to_string(counted));
+  }
+  // The B-link leaf chain must visit exactly the in-order leaves.
+  for (size_t i = 0; i + 1 < leaves.size(); i++) {
+    if (leaves[i]->right != leaves[i + 1]) {
+      return BtFail(err, "leaf chain broken at leaf " + std::to_string(i));
+    }
+  }
+  if (!leaves.empty() && leaves.back()->right != nullptr) {
+    return BtFail(err, "last leaf has dangling right link");
+  }
+  return true;
 }
 
 }  // namespace utps

@@ -33,6 +33,7 @@ class BTreeIndex final : public KvIndex {
   bool InsertDirect(Key key, Item* item) override;
   bool EraseDirect(Key key) override;
   uint64_t SizeDirect() const override { return size_; }
+  bool AuditDirect(std::string* err) const override;
 
   // Bulk load from strictly ascending (key, item) pairs; much faster than
   // repeated InsertDirect for population. Must be called on an empty tree.
@@ -72,6 +73,9 @@ class BTreeIndex final : public KvIndex {
 
   Node* NewNode(bool leaf);
   static int LowerBound(const Node* n, Key key);
+  bool AuditNode(const Node* n, unsigned depth, const Key* lo, const Key* hi,
+                 uint64_t* counted, std::vector<const Node*>* leaves,
+                 std::string* err) const;
   // Splits full child `ci` of locked, non-full parent `p`.
   void SplitChild(Node* p, int ci, Node* c);
   // Simulated helpers.

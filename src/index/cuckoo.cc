@@ -1,6 +1,8 @@
 #include "index/cuckoo.h"
 
 #include <bit>
+#include <string>
+#include <unordered_set>
 
 namespace utps {
 
@@ -296,6 +298,56 @@ sim::Task<bool> CuckooIndex::CoErase(sim::ExecCtx& ctx, Key key) {
   }
   UnlockPair(ctx, i1, i2);
   co_return erased;
+}
+
+bool CuckooIndex::AuditDirect(std::string* err) const {
+  auto fail = [err](std::string msg) {
+    if (err != nullptr) {
+      *err = "cuckoo: " + std::move(msg);
+    }
+    return false;
+  };
+  for (unsigned s = 0; s < kNumStripes; s++) {
+    if (stripes_[s].held()) {
+      return fail("stripe lock " + std::to_string(s) + " held at quiesce");
+    }
+  }
+  uint64_t counted = 0;
+  std::unordered_set<Key> seen;
+  seen.reserve(size_);
+  for (uint64_t b = 0; b < nbuckets_; b++) {
+    const Bucket& bk = buckets_[b];
+    if (bk.version & 1) {
+      return fail("bucket " + std::to_string(b) + " version odd at quiesce");
+    }
+    for (unsigned s = 0; s < kSlots; s++) {
+      const Item* it = bk.items[s];
+      if (it == nullptr) {
+        continue;
+      }
+      counted++;
+      const Key key = bk.keys[s];
+      if (it->key != key) {
+        return fail("slot key mismatch in bucket " + std::to_string(b));
+      }
+      if (it->ctrl & 1) {
+        return fail("item seqlock odd at quiesce, key " + std::to_string(key));
+      }
+      if (!seen.insert(key).second) {
+        return fail("duplicate key " + std::to_string(key));
+      }
+      const uint64_t h = Hash(key);
+      const uint64_t i1 = Index1(h);
+      if (b != i1 && b != Index2(i1, h)) {
+        return fail("key " + std::to_string(key) + " in non-candidate bucket");
+      }
+    }
+  }
+  if (counted != size_) {
+    return fail("size_=" + std::to_string(size_) + " but counted " +
+                std::to_string(counted));
+  }
+  return true;
 }
 
 }  // namespace utps

@@ -27,6 +27,7 @@ class CuckooIndex final : public KvIndex {
   bool InsertDirect(Key key, Item* item) override;
   bool EraseDirect(Key key) override;
   uint64_t SizeDirect() const override { return size_; }
+  bool AuditDirect(std::string* err) const override;
 
   sim::Task<Item*> CoGet(sim::ExecCtx& ctx, Key key) override;
   sim::Task<bool> CoInsert(sim::ExecCtx& ctx, Key key, Item* item) override;

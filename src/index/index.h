@@ -12,6 +12,7 @@
 #define UTPS_INDEX_INDEX_H_
 
 #include <cstdint>
+#include <string>
 
 #include "sim/exec.h"
 #include "sim/task.h"
@@ -29,6 +30,15 @@ class KvIndex {
   virtual bool InsertDirect(Key key, Item* item) = 0;
   virtual bool EraseDirect(Key key) = 0;
   virtual uint64_t SizeDirect() const = 0;
+
+  // Structural audit, host-side, to be run after the simulation quiesces: no
+  // seqlock may be mid-write, membership bookkeeping must match the structure,
+  // and implementation invariants (bucket placement / key ordering) must
+  // hold. Returns false and describes the violation in `err` on failure.
+  virtual bool AuditDirect(std::string* err) const {
+    (void)err;
+    return true;
+  }
 
   // -------------------------------------------------------- simulated plane
   // Returns the item pointer or nullptr.

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "common/rng.h"
 #include "sim/task.h"
 #include "sim/types.h"
 
@@ -86,6 +87,19 @@ class Engine {
     size_t peak_heap = 0;           // max simultaneous pending events
   };
 
+  // Schedule-perturbation hook (DST harness, tests/dst). Under a seed, the
+  // engine explores alternative legal interleavings: same-tick events are
+  // dispatched in a seed-determined permutation instead of FIFO order, and
+  // every scheduled wakeup may be delayed by a bounded jitter. Both knobs are
+  // deterministic functions of (seed, event sequence number), so a given seed
+  // replays the exact same schedule. Off by default; when off the scheduler
+  // is bit-identical to the unperturbed engine.
+  struct PerturbConfig {
+    uint64_t seed = 1;
+    bool permute_ties = true;  // randomize ordering of same-tick events
+    Tick max_jitter_ns = 0;    // add U[0, max_jitter_ns] to each wakeup time
+  };
+
   Engine() = default;
   ~Engine() { DestroyFibers(); }
   Engine(const Engine&) = delete;
@@ -93,10 +107,28 @@ class Engine {
 
   Tick now() const { return now_; }
 
+  void EnablePerturbation(const PerturbConfig& cfg) {
+    perturb_ = cfg;
+    perturb_on_ = true;
+  }
+  bool perturbation_enabled() const { return perturb_on_; }
+
   // Schedule a coroutine to be resumed at virtual time `t` (>= now).
   void ScheduleAt(Tick t, std::coroutine_handle<> h) {
     UTPS_DCHECK(t >= now_);
-    heap_.push(Event{t, seq_++, h});
+    uint64_t prio = seq_;
+    if (perturb_on_) {
+      // One mixed word per event drives both knobs; seq_ keys it so replaying
+      // a seed reproduces the schedule event-for-event.
+      const uint64_t mix = Mix64(perturb_.seed ^ (seq_ + 0x9e3779b97f4a7c15ULL));
+      if (perturb_.permute_ties) {
+        prio = mix;
+      }
+      if (perturb_.max_jitter_ns > 0) {
+        t += Mix64(mix) % (perturb_.max_jitter_ns + 1);
+      }
+    }
+    heap_.push(Event{t, prio, seq_++, h});
     stats_.events_scheduled++;
     if (heap_.size() > stats_.peak_heap) {
       stats_.peak_heap = heap_.size();
@@ -148,11 +180,15 @@ class Engine {
  private:
   struct Event {
     Tick t;
-    uint64_t seq;  // FIFO tiebreak for same-tick events -> determinism
+    uint64_t prio;  // same-tick ordering key: == seq unless perturbation is on
+    uint64_t seq;   // monotonic; final FIFO tiebreak -> determinism either way
     std::coroutine_handle<> h;
 
     bool operator>(const Event& o) const {
-      return t != o.t ? t > o.t : seq > o.seq;
+      if (t != o.t) {
+        return t > o.t;
+      }
+      return prio != o.prio ? prio > o.prio : seq > o.seq;
     }
   };
 
@@ -169,6 +205,8 @@ class Engine {
 
   Tick now_ = 0;
   uint64_t seq_ = 0;
+  bool perturb_on_ = false;
+  PerturbConfig perturb_;
   Stats stats_;
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> heap_;
   std::vector<Fiber::Handle> fibers_;

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <cstring>
 
+#include "check/mutation.h"
 #include "common/macros.h"
 #include "sim/exec.h"
 #include "sim/task.h"
@@ -100,7 +101,7 @@ inline sim::Task<void> ItemWrite(sim::ExecCtx& ctx, Item* it, const void* src,
   uint8_t& contention = item_internal::ContentionOf(it);
   for (sim::Tick backoff = 40;;) {
     const bool locked = (it->ctrl & 1) != 0;
-    if (!locked) {
+    if (!locked && !mut::DropSeqlockBump()) {
       it->ctrl++;  // even -> odd: write in progress
     }
     co_await ctx.Rmw(&it->ctrl);
@@ -116,10 +117,21 @@ inline sim::Task<void> ItemWrite(sim::ExecCtx& ctx, Item* it, const void* src,
     co_await ctx.Delay(backoff);
     backoff = backoff < 320 ? backoff * 2 : 320;
   }
-  std::memcpy(it->value(), src, len);
+  // The value store spans the awaited Write: half the bytes land before the
+  // suspension, half after, so the item is genuinely torn in host memory for
+  // the duration of the modeled store — exactly the window the seqlock must
+  // cover. Fibers that interleave here observe the torn state iff the ctrl
+  // protocol is broken (see check/mutation.h); the charge/await sequence is
+  // identical to a single up-front copy, so timing is unchanged.
+  const uint32_t half = len / 2;
+  std::memcpy(it->value(), src, half);
   it->value_len = len;
   co_await ctx.Write(it->value(), len);
-  it->ctrl++;  // odd -> even: publish new version
+  std::memcpy(it->value() + half, static_cast<const uint8_t*>(src) + half,
+              len - half);
+  if (!mut::DropSeqlockBump()) {
+    it->ctrl++;  // odd -> even: publish new version
+  }
   co_await ctx.Write(&it->ctrl, 8);
 }
 

@@ -14,6 +14,10 @@
 #include "sim/arena.h"
 #include "store/item.h"
 
+#if UTPS_INVARIANTS
+#include <unordered_set>
+#endif
+
 namespace utps {
 
 class SlabAllocator {
@@ -42,10 +46,17 @@ class SlabAllocator {
     it->key = key;
     it->capacity = static_cast<uint32_t>(ClassBytes(cls) - sizeof(Item));
     live_items_++;
+#if UTPS_INVARIANTS
+    UTPS_CHECK_MSG(live_set_.insert(it).second,
+                   "slab returned a live item (allocator corruption)");
+#endif
     return it;
   }
 
   void FreeItem(Item* it) {
+#if UTPS_INVARIANTS
+    UTPS_CHECK_MSG(live_set_.erase(it) == 1, "slab double-free or foreign pointer");
+#endif
     const unsigned cls = ClassOf(sizeof(Item) + it->capacity);
     *reinterpret_cast<void**>(it) = free_[cls];
     free_[cls] = it;
@@ -54,6 +65,18 @@ class SlabAllocator {
   }
 
   uint64_t live_items() const { return live_items_; }
+
+  // Leak audit: with the expected number of live items known (e.g. index size
+  // after quiesce), the counter and — under UTPS_INVARIANTS — the live
+  // pointer set must agree with it.
+  bool AuditLive(uint64_t expected) const {
+#if UTPS_INVARIANTS
+    if (live_set_.size() != expected) {
+      return false;
+    }
+#endif
+    return live_items_ == expected;
+  }
 
  private:
   static constexpr unsigned kNumClasses = 12;  // 32 B .. 64 KB
@@ -74,6 +97,9 @@ class SlabAllocator {
   sim::Arena* arena_;
   void* free_[kNumClasses];
   uint64_t live_items_ = 0;
+#if UTPS_INVARIANTS
+  std::unordered_set<const Item*> live_set_;
+#endif
 };
 
 }  // namespace utps

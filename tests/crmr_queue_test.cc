@@ -1,0 +1,122 @@
+// Tests for the CR-MR SPSC batch ring (§3.4): wrap-around, physical slot
+// reuse, tail-pointer piggyback completion, full-ring backpressure, and the
+// occupancy invariants added for the DST harness.
+#include <gtest/gtest.h>
+
+#include "core/crmr_queue.h"
+#include "sim/arena.h"
+
+namespace utps {
+namespace {
+
+class CrMrQueueTest : public ::testing::Test {
+ protected:
+  CrMrQueueTest() : arena_(16 << 20) { ring_.Init(&arena_); }
+
+  // Producer side: publish a batch of `count` descriptors.
+  void Publish(uint32_t count, Key first_key) {
+    CrMrRing::Slot* s = ring_.SlotAt(ring_.head());
+    s->count = count;
+    for (uint32_t i = 0; i < count; i++) {
+      s->descs[i] = CrMrDesc{first_key + i, RxRecord::PackOpLen(OpType::kGet, 8),
+                             static_cast<uint32_t>(i)};
+    }
+    ring_.AdvanceHead();
+  }
+
+  sim::Arena arena_;
+  CrMrRing ring_;
+};
+
+TEST_F(CrMrQueueTest, TailPiggybackCompletion) {
+  EXPECT_TRUE(ring_.AuditQuiesced());
+  Publish(3, 100);
+  Publish(2, 200);
+  EXPECT_EQ(ring_.head(), 2u);
+  EXPECT_EQ(ring_.tail(), 0u);
+  EXPECT_TRUE(ring_.HasWork(0));
+  EXPECT_FALSE(ring_.AuditQuiesced());  // published but not completed
+
+  // Consumer processes batch 0 and publishes completion via the tail.
+  EXPECT_EQ(ring_.SlotAt(0)->count, 3u);
+  EXPECT_EQ(ring_.SlotAt(0)->descs[2].key, 102u);
+  ring_.AdvanceTail();
+  EXPECT_EQ(ring_.tail(), 1u);
+  EXPECT_FALSE(ring_.AuditQuiesced());
+
+  ring_.AdvanceTail();
+  EXPECT_EQ(ring_.tail(), ring_.head());
+  EXPECT_TRUE(ring_.AuditQuiesced());
+  EXPECT_FALSE(ring_.HasWork(2));
+}
+
+TEST_F(CrMrQueueTest, WrapAroundReusesPhysicalSlots) {
+  // Drive the ring through several full laps; sequence numbers keep growing
+  // while the physical slot (and its host companion) is reused modulo
+  // kNumSlots.
+  const uint64_t laps = 3 * CrMrRing::kNumSlots + 5;
+  for (uint64_t seq = 0; seq < laps; seq++) {
+    EXPECT_EQ(ring_.SlotAt(seq), ring_.SlotAt(seq + CrMrRing::kNumSlots));
+    EXPECT_EQ(ring_.HostAt(seq), ring_.HostAt(seq + CrMrRing::kNumSlots));
+    Publish(1, seq);
+    EXPECT_EQ(ring_.head(), seq + 1);
+    ring_.AdvanceTail();
+  }
+  EXPECT_EQ(ring_.head(), laps);
+  EXPECT_EQ(ring_.tail(), laps);
+  EXPECT_TRUE(ring_.AuditQuiesced());
+}
+
+TEST_F(CrMrQueueTest, BatchSlotReuseOverwritesDescriptors) {
+  Publish(CrMrRing::kMaxBatch, 1000);
+  ring_.AdvanceTail();
+  // One full lap later the same physical slot carries a fresh batch.
+  for (unsigned i = 1; i < CrMrRing::kNumSlots; i++) {
+    Publish(1, i);
+    ring_.AdvanceTail();
+  }
+  const uint64_t seq = CrMrRing::kNumSlots;  // same physical slot as seq 0
+  ASSERT_EQ(ring_.SlotAt(seq), ring_.SlotAt(0));
+  Publish(2, 5000);
+  EXPECT_EQ(ring_.SlotAt(seq)->count, 2u);
+  EXPECT_EQ(ring_.SlotAt(seq)->descs[0].key, 5000u);
+  EXPECT_EQ(ring_.SlotAt(seq)->descs[1].key, 5001u);
+  // Host descriptors are plain storage: stamping one at seq 0 must be visible
+  // at seq kNumSlots (same physical companion array).
+  ring_.HostAt(0)->resp_len = 777;
+  EXPECT_EQ(ring_.HostAt(seq)->resp_len, 777u);
+}
+
+TEST_F(CrMrQueueTest, FullRingBackpressure) {
+  for (unsigned i = 0; i < CrMrRing::kNumSlots; i++) {
+    EXPECT_FALSE(ring_.Full());
+    Publish(1, i);
+  }
+  EXPECT_TRUE(ring_.Full());
+  EXPECT_EQ(ring_.head() - ring_.tail(), uint64_t{CrMrRing::kNumSlots});
+  // One completion frees exactly one slot.
+  ring_.AdvanceTail();
+  EXPECT_FALSE(ring_.Full());
+  Publish(1, 99);
+  EXPECT_TRUE(ring_.Full());
+}
+
+#if !defined(NDEBUG)
+using CrMrQueueDeathTest = CrMrQueueTest;
+
+TEST_F(CrMrQueueDeathTest, OverfillTripsOccupancyProbe) {
+  for (unsigned i = 0; i < CrMrRing::kNumSlots; i++) {
+    Publish(1, i);
+  }
+  EXPECT_DEATH(ring_.AdvanceHead(), "head");
+}
+
+TEST_F(CrMrQueueDeathTest, TailPastHeadTripsOccupancyProbe) {
+  Publish(1, 1);
+  ring_.AdvanceTail();
+  EXPECT_DEATH(ring_.AdvanceTail(), "tail");
+}
+#endif  // !NDEBUG
+
+}  // namespace
+}  // namespace utps

@@ -1,0 +1,111 @@
+// Determinism regression: the simulator must be a pure function of the seed,
+// including under schedule perturbation. Each server type is run twice
+// in-process and once in a fresh subprocess with the same seed; the formatted
+// result rows must be byte-identical.
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "dst_harness.h"
+
+namespace utps::dst {
+namespace {
+
+constexpr uint64_t kSeed = 12345;
+
+DstConfig RowConfig(Sys sys) {
+  DstConfig cfg;
+  cfg.sys = sys;
+  cfg.mix = kYcsbA;
+  cfg.seed = kSeed;
+  cfg.jitter_ns = 48;  // perturbation fully on: permuted ties + jitter
+  cfg.inject_split = true;
+  return cfg;
+}
+
+std::string RowFor(Sys sys) {
+  const DstResult r = RunDst(RowConfig(sys));
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%s seed=%llu digest=%016llx issued=%llu completed=%llu "
+                "checked=%zu ok=%d",
+                SysName(sys), static_cast<unsigned long long>(kSeed),
+                static_cast<unsigned long long>(r.digest),
+                static_cast<unsigned long long>(r.ops_issued),
+                static_cast<unsigned long long>(r.ops_completed),
+                r.ops_checked, r.ok ? 1 : 0);
+  return buf;
+}
+
+std::string AllRows() {
+  std::string rows;
+  for (Sys sys : kAllSystems) {
+    rows += RowFor(sys);
+    rows += '\n';
+  }
+  return rows;
+}
+
+// Child-side emitter: skipped unless the parent test set the output path.
+TEST(DstDeterminism, ChildEmit) {
+  const char* path = std::getenv("MUTPS_DST_CHILD_OUT");
+  if (path == nullptr) {
+    GTEST_SKIP() << "subprocess helper (driven by SubprocessIdentical)";
+  }
+  std::ofstream f(path, std::ios::binary);
+  ASSERT_TRUE(f.good());
+  f << AllRows();
+}
+
+TEST(DstDeterminism, InProcessRepeatIdentical) {
+  for (Sys sys : kAllSystems) {
+    const std::string a = RowFor(sys);
+    const std::string b = RowFor(sys);
+    EXPECT_EQ(a, b) << SysName(sys) << ": repeat run diverged";
+  }
+}
+
+TEST(DstDeterminism, DifferentSeedsDiverge) {
+  DstConfig a = RowConfig(Sys::kBaseKv);
+  DstConfig b = a;
+  b.seed = kSeed + 1;
+  EXPECT_NE(RunDst(a).digest, RunDst(b).digest);
+}
+
+TEST(DstDeterminism, SubprocessIdentical) {
+  const std::string expected = AllRows();
+
+  char exe[4096];
+  const ssize_t n = readlink("/proc/self/exe", exe, sizeof(exe) - 1);
+  ASSERT_GT(n, 0);
+  exe[n] = '\0';
+
+  char out_path[] = "/tmp/dst_determinism_XXXXXX";
+  const int fd = mkstemp(out_path);
+  ASSERT_GE(fd, 0);
+  close(fd);
+
+  setenv("MUTPS_DST_CHILD_OUT", out_path, 1);
+  const std::string cmd = std::string(exe) +
+                          " --gtest_filter=DstDeterminism.ChildEmit "
+                          ">/dev/null 2>&1";
+  const int rc = std::system(cmd.c_str());
+  unsetenv("MUTPS_DST_CHILD_OUT");
+  ASSERT_EQ(rc, 0) << "subprocess run failed";
+
+  std::ifstream f(out_path, std::ios::binary);
+  std::stringstream got;
+  got << f.rdbuf();
+  std::remove(out_path);
+  EXPECT_EQ(expected, got.str())
+      << "fresh-process run produced different result rows";
+}
+
+}  // namespace
+}  // namespace utps::dst

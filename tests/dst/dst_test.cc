@@ -1,0 +1,207 @@
+// DST sweep driver: seeds x workloads x server systems under perturbed
+// schedules. Every run must complete all issued ops, pass the quiesce-time
+// structural audits, and yield a linearizable history. A failing seed is
+// shrunk to a minimal op prefix before reporting.
+//
+// Seed count defaults to the CI budget and can be raised for soak runs via
+// MUTPS_DST_SEEDS (see scripts/run_checks.sh).
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "dst_harness.h"
+
+namespace utps::dst {
+namespace {
+
+unsigned SeedCount() {
+  if (const char* s = std::getenv("MUTPS_DST_SEEDS")) {
+    const long v = std::atol(s);
+    if (v > 0) {
+      return static_cast<unsigned>(v);
+    }
+  }
+  return 20;
+}
+
+void RunAndReport(DstConfig cfg, const char* load_name) {
+  DstResult r = RunDst(cfg);
+  EXPECT_FALSE(r.inconclusive)
+      << SysName(cfg.sys) << "/" << load_name << " seed=" << cfg.seed
+      << ": checker ran out of node budget";
+  if (r.ok) {
+    EXPECT_EQ(r.ops_issued, r.ops_completed);
+    return;
+  }
+  DstResult min;
+  const uint64_t min_ops = ShrinkToMinimalPrefix(cfg, r, &min);
+  FAIL() << SysName(cfg.sys) << "/" << load_name << " seed=" << cfg.seed
+         << " failed after " << r.ops_issued << " ops: " << r.error
+         << "\n  shrunk to a " << min_ops
+         << "-op prefix reproducing: " << min.error;
+}
+
+DstConfig SweepConfig(Sys sys, const Mix& mix, uint64_t seed) {
+  DstConfig cfg;
+  cfg.sys = sys;
+  cfg.mix = mix;
+  cfg.seed = seed;
+  // Alternate pure tie-permutation with added latency jitter across seeds.
+  cfg.jitter_ns = seed % 2 == 0 ? 0 : 48;
+  // Exercise μTPS thread reassignment mid-run on a third of the seeds.
+  cfg.inject_split = seed % 3 == 0;
+  return cfg;
+}
+
+TEST(DstSweep, YcsbA) {
+  const unsigned seeds = SeedCount();
+  for (Sys sys : kAllSystems) {
+    for (uint64_t seed = 1; seed <= seeds; seed++) {
+      RunAndReport(SweepConfig(sys, kYcsbA, seed), "ycsb-a");
+      if (HasFatalFailure()) {
+        return;
+      }
+    }
+  }
+}
+
+TEST(DstSweep, PutSkew) {
+  const unsigned seeds = SeedCount();
+  for (Sys sys : kAllSystems) {
+    for (uint64_t seed = 1; seed <= seeds; seed++) {
+      RunAndReport(SweepConfig(sys, kPutSkew, seed), "put-skew");
+      if (HasFatalFailure()) {
+        return;
+      }
+    }
+  }
+}
+
+// Scans are only meaningful on the tree systems; BaseKV-tree and Sherman are
+// checked exactly (ascending order, exact count), μTPS-T against the
+// collaborative-scan slack rule.
+TEST(DstSweep, ScanMixTreeSystems) {
+  const unsigned seeds = std::max(4u, SeedCount() / 4);
+  for (Sys sys : {Sys::kMuTpsT, Sys::kBaseKv, Sys::kSherman}) {
+    for (uint64_t seed = 1; seed <= seeds; seed++) {
+      DstConfig cfg = SweepConfig(sys, kScanMix, seed);
+      cfg.scan_len_avg = 8;
+      RunAndReport(cfg, "scan-mix");
+      if (HasFatalFailure()) {
+        return;
+      }
+    }
+  }
+}
+
+// Deletes are only wired on the RPC baselines (μTPS has no delete opcode);
+// slab accounting switches to lax mode because erase leaks items by design.
+TEST(DstSweep, DeleteMixServers) {
+  const unsigned seeds = std::max(4u, SeedCount() / 4);
+  for (Sys sys : {Sys::kBaseKv, Sys::kErpcKv}) {
+    for (uint64_t seed = 1; seed <= seeds; seed++) {
+      RunAndReport(SweepConfig(sys, kDeleteMix, seed), "delete-mix");
+      if (HasFatalFailure()) {
+        return;
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------------------
+// Checker self-tests: hand-built histories with known verdicts, so a checker
+// regression cannot silently turn the whole sweep green.
+
+check::History BaseHistory() {
+  check::History h;
+  h.initial[1] = check::MakeStamp(1, 0);
+  h.initial[2] = check::MakeStamp(2, 0);
+  return h;
+}
+
+TEST(LinearizeCheck, AcceptsSequentialHistory) {
+  check::History h = BaseHistory();
+  const uint64_t s1 = check::MakeStamp(1, 7);
+  h.RecordGet(0, 1, h.initial[1], false, 10, 20);
+  h.RecordPut(0, 1, s1, 30, 40);
+  h.RecordGet(1, 1, s1, false, 50, 60);
+  EXPECT_TRUE(check::CheckLinearizability(h, {}).ok);
+}
+
+TEST(LinearizeCheck, AcceptsConcurrentEitherOrder) {
+  check::History h = BaseHistory();
+  const uint64_t s1 = check::MakeStamp(1, 7);
+  h.RecordPut(0, 1, s1, 10, 50);  // overlaps the get
+  h.RecordGet(1, 1, h.initial[1], false, 20, 40);
+  EXPECT_TRUE(check::CheckLinearizability(h, {}).ok);
+}
+
+TEST(LinearizeCheck, RejectsStaleRead) {
+  check::History h = BaseHistory();
+  const uint64_t s1 = check::MakeStamp(1, 7);
+  h.RecordPut(0, 1, s1, 10, 20);
+  h.RecordGet(1, 1, h.initial[1], false, 30, 40);  // put already done
+  const auto r = check::CheckLinearizability(h, {});
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.bad_key, 1u);
+}
+
+TEST(LinearizeCheck, RejectsTornValue) {
+  check::History h = BaseHistory();
+  h.RecordGet(0, 1, 0, /*corrupt=*/true, 10, 20);
+  const auto r = check::CheckLinearizability(h, {});
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("torn"), std::string::npos);
+}
+
+TEST(LinearizeCheck, RejectsValueFromThinAir) {
+  check::History h = BaseHistory();
+  h.RecordGet(0, 1, check::MakeStamp(1, 99), false, 10, 20);
+  EXPECT_FALSE(check::CheckLinearizability(h, {}).ok);
+}
+
+TEST(LinearizeCheck, RejectsLostDelete) {
+  check::History h = BaseHistory();
+  h.RecordDelete(0, 1, 10, 20);
+  h.RecordGet(1, 1, h.initial[1], false, 30, 40);  // delete already done
+  EXPECT_FALSE(check::CheckLinearizability(h, {}).ok);
+}
+
+TEST(LinearizeCheck, AcceptsAbsentAfterDelete) {
+  check::History h = BaseHistory();
+  h.RecordDelete(0, 1, 10, 20);
+  h.RecordGet(1, 1, 0, false, 30, 40);
+  EXPECT_TRUE(check::CheckLinearizability(h, {}).ok);
+}
+
+TEST(LinearizeCheck, RejectsScanEntryOverwrittenBeforeScan) {
+  check::History h = BaseHistory();
+  const uint64_t s1 = check::MakeStamp(1, 7);
+  h.RecordPut(0, 1, s1, 10, 20);  // overwrites the populate value
+  // Scan starts well after the overwrite yet returns the populate stamp.
+  h.RecordScan(1, 1, 2, 2, {h.initial[1], h.initial[2]}, false, 50, 60);
+  const auto r =
+      check::CheckLinearizability(h, {.scan_exact = true});
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("overwritten"), std::string::npos);
+}
+
+TEST(LinearizeCheck, RejectsIncompleteExactScan) {
+  check::History h = BaseHistory();
+  h.RecordScan(0, 1, 2, 2, {h.initial[1]}, false, 10, 20);  // missing key 2
+  EXPECT_FALSE(check::CheckLinearizability(h, {.scan_exact = true}).ok);
+  // The same scan passes under the μTPS-T slack rule.
+  EXPECT_TRUE(check::CheckLinearizability(h, {.scan_exact = false}).ok);
+}
+
+TEST(LinearizeCheck, RejectsUnorderedExactScan) {
+  check::History h = BaseHistory();
+  h.RecordScan(0, 1, 2, 2, {h.initial[2], h.initial[1]}, false, 10, 20);
+  const auto r = check::CheckLinearizability(h, {.scan_exact = true});
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("ascending"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace utps::dst
