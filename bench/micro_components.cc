@@ -61,6 +61,48 @@ void BM_CacheModelAccessStream(benchmark::State& state) {
 }
 BENCHMARK(BM_CacheModelAccessStream);
 
+// LLC hit path: a working set larger than one core's private cache but far
+// smaller than the LLC, so steady state is (mostly) private misses served by
+// the shared level — the probe sequence the tag fast path accelerates.
+void BM_CacheModelLlcHit(benchmark::State& state) {
+  sim::MachineConfig cfg;
+  sim::MemoryModel mem(cfg);
+  sim::Arena arena(64 << 20);
+  constexpr uint64_t kSpan = 8ull << 20;  // 8 MB: ~6x private, ~1/6 LLC
+  uint8_t* base = arena.AllocateArray<uint8_t>(kSpan);
+  for (uint64_t off = 0; off < kSpan; off += 64) {
+    mem.Access(0, 0, sim::Stage::kData, base + off, 8, false);  // warm LLC
+  }
+  uint64_t off = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mem.Access(0, 0, sim::Stage::kData, base + off, 8, false));
+    off = (off + 64) & (kSpan - 1);
+  }
+}
+BENCHMARK(BM_CacheModelLlcHit);
+
+// LLC miss path: every access victimizes and installs (dominated by
+// LlcVictim + LlcInstall + private back-invalidation bookkeeping).
+void BM_CacheModelLlcMiss(benchmark::State& state) {
+  sim::MachineConfig cfg;
+  sim::MemoryModel mem(cfg);
+  sim::Arena arena(1 << 20);
+  uint8_t* base = arena.AllocateArray<uint8_t>(64);
+  // Walk aliases of a single LLC set (line stride = set count): more distinct
+  // tags than ways, so past warmup every probe misses and every access runs
+  // the victim-selection + install + back-invalidation path.
+  const uint64_t line0 = reinterpret_cast<uint64_t>(base) >> 6;
+  uint64_t alias = 0;
+  for (auto _ : state) {
+    const uint64_t addr = (line0 + (alias << 16)) << 6;
+    benchmark::DoNotOptimize(mem.Access(
+        0, 0, sim::Stage::kData, reinterpret_cast<void*>(addr), 8, false));
+    alias = alias == 23 ? 0 : alias + 1;  // 24 aliases > 12 ways
+  }
+}
+BENCHMARK(BM_CacheModelLlcMiss);
+
 void BM_CountMinSketchAdd(benchmark::State& state) {
   CountMinSketch sketch;
   uint64_t k = 0;
@@ -106,6 +148,63 @@ void BM_EngineEventRoundTrip(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n);
 }
 BENCHMARK(BM_EngineEventRoundTrip)->Unit(benchmark::kMillisecond);
+
+// Raw ScheduleAt/pop throughput on a realistic horizon mix: most wakeups land
+// within a few hundred ns of now (cache latencies, queue hops) and stay in
+// the bucket ring; a tail (NIC RTT, timers, think time) spills to the far
+// heap. No coroutine work — resumed handles are noops.
+void BM_EngineScheduleMix(benchmark::State& state) {
+  sim::Engine eng;
+  Rng rng(7);
+  const std::coroutine_handle<> h = std::noop_coroutine();
+  uint64_t pushed = 0;
+  for (auto _ : state) {
+    const uint64_t r = rng.Next();
+    sim::Tick extra;
+    switch (r & 15) {
+      case 0:
+        extra = 2000 + (r >> 8) % 8000;  // beyond the ring window -> heap
+        break;
+      case 1:
+      case 2:
+        extra = 100 + (r >> 8) % 1000;
+        break;
+      default:
+        extra = (r >> 8) % 64;
+        break;
+    }
+    eng.ScheduleAt(eng.now() + extra, h);
+    if ((++pushed & 63) == 0) {
+      eng.RunToQuiescence(~sim::Tick{0});
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EngineScheduleMix);
+
+// Same-tick suspend/resume: two fibers alternating at t+0 exercise the
+// symmetric-transfer handoff (awaiter jumps straight to the next fiber
+// instead of unwinding into the dispatch loop).
+sim::Fiber ZeroDelayFiber(sim::ExecCtx* ctx, uint64_t n) {
+  for (uint64_t i = 0; i < n; i++) {
+    co_await ctx->Delay(0);
+  }
+}
+
+void BM_EngineZeroDelayHandoff(benchmark::State& state) {
+  const uint64_t n = 100000;
+  for (auto _ : state) {
+    sim::Engine eng;
+    sim::ExecCtx a{.eng = &eng};
+    sim::ExecCtx b{.eng = &eng};
+    eng.Spawn(ZeroDelayFiber(&a, n));
+    eng.Spawn(ZeroDelayFiber(&b, n));
+    eng.RunToQuiescence(sim::kSec);
+    benchmark::DoNotOptimize(eng.stats().handoffs);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2 * n);
+}
+BENCHMARK(BM_EngineZeroDelayHandoff)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace utps

@@ -3,13 +3,16 @@
 // detects the throughput drift, re-searches {cache size, thread split}, and
 // throughput settles at the new optimum — with the server online throughout.
 #include <cstdio>
+#include <cstdlib>
 
 #include "harness/experiment.h"
 
 using namespace utps;
 
-int main() {
-  const uint64_t keys = 500000;
+int main(int argc, char** argv) {
+  //   ./examples/autotune_demo [num_keys]
+  const uint64_t keys =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 500000;
   WorkloadSpec big = WorkloadSpec::YcsbA(keys, 512);
   WorkloadSpec small = WorkloadSpec::YcsbA(keys, 8);
 

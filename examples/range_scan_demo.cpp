@@ -6,6 +6,7 @@
 // This example runs a YCSB-E-style mix and verifies a few scans against the
 // index's host-side plane.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <set>
 #include <string>
@@ -55,8 +56,10 @@ sim::Fiber VerifyScan(sim::ExecCtx* ctx, sim::Nic* nic, BTreeIndex* tree, Key lo
 
 }  // namespace
 
-int main() {
-  const uint64_t keys = 500000;
+int main(int argc, char** argv) {
+  //   ./examples/range_scan_demo [num_keys]
+  const uint64_t keys =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 500000;
   const uint32_t vsize = 32;
   const WorkloadSpec spec = WorkloadSpec::YcsbE(keys, vsize);
 

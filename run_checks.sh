@@ -10,7 +10,7 @@
 #                   sanitizer CI job for the checking harness.
 # MUTPS_DST_SEEDS=N overrides the seed count (the ASan leg defaults to 6
 #                   because each simulated run is ~10x slower under ASan).
-set -eu
+set -euo pipefail
 cd "$(dirname "$0")"
 
 CHECKS='dst_test|dst_determinism_test|dst_mutation_test|crmr_queue_test|store_test'

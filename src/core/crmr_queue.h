@@ -55,6 +55,8 @@ class CrMrRing {
  public:
   static constexpr unsigned kMaxBatch = 20;  // matches the paper's sweep limit
   static constexpr unsigned kNumSlots = 32;
+  static_assert((kNumSlots & (kNumSlots - 1)) == 0,
+                "slot indexing masks the sequence number");
 
   struct Slot {
     uint32_t count = 0;
@@ -81,8 +83,10 @@ class CrMrRing {
   bool Full() const { return ctl_->head - ctl_->tail >= kNumSlots; }
   bool HasWork(uint64_t pop_cursor) const { return ctl_->head > pop_cursor; }
 
-  Slot* SlotAt(uint64_t seq) { return &slots_[seq % kNumSlots]; }
-  CrMrHostDesc* HostAt(uint64_t seq) { return &host_[(seq % kNumSlots) * kMaxBatch]; }
+  Slot* SlotAt(uint64_t seq) { return &slots_[seq & (kNumSlots - 1)]; }
+  CrMrHostDesc* HostAt(uint64_t seq) {
+    return &host_[(seq & (kNumSlots - 1)) * kMaxBatch];
+  }
 
   uint64_t head() const { return ctl_->head; }
   uint64_t tail() const { return ctl_->tail; }

@@ -26,7 +26,9 @@ MuTpsServer::MuTpsServer(const ServerEnv& env, const Options& opt)
     : env_(env), opt_(opt), cache_k_(opt.initial_cache_items) {
   rx_ = std::make_unique<RxRing>(env_.arena, opt_.rx);
   const unsigned w = env_.num_workers;
+  UTPS_CHECK(w <= 32);  // ready masks (cr_inflight / mr_ready_) are 32-bit
   rings_.resize(size_t{w} * w);
+  mr_ready_.assign(w, 0);
   for (auto& r : rings_) {
     r.Init(env_.arena);
   }
@@ -167,8 +169,12 @@ Task<void> MuTpsServer::CrRun(unsigned idx) {
   // slots in [switch_seq, fill_seq) with this worker's residue arrived while
   // the worker was still draining its MR role and belong to it.
   w.next_seq = AlignSeq(cfg_.switch_seq, local_ncr, idx);
+  w.cr_inflight = 0;
   for (unsigned t = 0; t < env_.num_workers; t++) {
     w.seen_tail[t] = RingAt(idx, t).tail();
+    if (w.seen_tail[t] < RingAt(idx, t).head()) {
+      w.cr_inflight |= 1u << t;
+    }
   }
   w.outstanding = 0;
   uint64_t hot_epoch_seen = hot_->epoch();
@@ -448,6 +454,10 @@ Task<void> MuTpsServer::CrFlushStaging(unsigned idx, unsigned target) {
     StageScope s(ctx, Stage::kQueue);
     co_await ctx.Write(slot, 8 + sizeof(CrMrDesc) * cnt);
     r.AdvanceHead();
+    // head just moved past both cursors: flag the ring for the consumer's MR
+    // sweep and for our own completion poll.
+    mr_ready_[target] |= 1u << idx;
+    w.cr_inflight |= 1u << target;
     co_await ctx.Write(r.head_addr(), 8);
   }
   w.outstanding += cnt;
@@ -475,11 +485,13 @@ Task<void> MuTpsServer::CrPollCompletions(unsigned idx) {
   if (w.outstanding == 0) {
     co_return;
   }
-  for (unsigned t = 0; t < env_.num_workers; t++) {
+  // Visit exactly the rings with batches in flight (cr_inflight mirrors
+  // seen_tail < head) in ascending order — same rings, same order as a full
+  // scan. Bits cannot appear mid-loop: only this worker's own flushes set
+  // them, and it is busy here.
+  for (uint32_t m = w.cr_inflight; m != 0; m &= m - 1) {
+    const unsigned t = static_cast<unsigned>(__builtin_ctz(m));
     CrMrRing& r = RingAt(idx, t);
-    if (w.seen_tail[t] >= r.head()) {
-      continue;  // nothing in flight on this ring
-    }
     {
       StageScope s(ctx, Stage::kQueue);
       co_await ctx.Read(r.tail_addr(), 8);
@@ -495,6 +507,9 @@ Task<void> MuTpsServer::CrPollCompletions(unsigned idx) {
       w.outstanding -= slot->count;
       w.seen_tail[t]++;
       drained = true;
+    }
+    if (w.seen_tail[t] >= r.head()) {
+      w.cr_inflight &= ~(1u << t);
     }
     if (drained && trc_ != nullptr) {
       trc_->Counter(out_ctr_name_[idx], obs::Tracer::kServerPid, ctx.Now(),
@@ -526,10 +541,14 @@ Task<void> MuTpsServer::MrRun(unsigned idx) {
   w.is_cr = false;
   ctx.clos = opt_.mr_clos;
   w.adopted_version = cfg_.version;
+  mr_ready_[idx] = 0;
   for (unsigned p = 0; p < env_.num_workers; p++) {
     // Resume consumption at the tail: CR workers that adopted the new
     // configuration first may already have pushed batches for us.
     w.pop_cursor[p] = RingAt(p, idx).tail();
+    if (w.pop_cursor[p] < RingAt(p, idx).head()) {
+      mr_ready_[idx] |= 1u << p;
+    }
   }
   uint64_t hot_epoch_seen = hot_->epoch();
   hot_->AckEpoch(idx, hot_epoch_seen);
@@ -562,13 +581,20 @@ Task<void> MuTpsServer::MrRun(unsigned idx) {
       ctx.Charge(4);
     }
     // --- scan producer rings (all-to-all mapping) ---
+    // mr_ready_ mirrors pop_cursor < head per producer, so the round-robin
+    // sweep reduces to a rotated first-set-bit: the producer picked (and the
+    // modeled head read that confirms it) is exactly the one the full scan
+    // would reach. head only ever advances, so the post-read recheck of the
+    // original scan cannot fail and exactly one slot is consumed per find.
     bool found = false;
-    for (unsigned step = 0; step < env_.num_workers; step++) {
-      const unsigned p = (w.rr_next + step) % env_.num_workers;
+    const uint32_t avail = mr_ready_[idx];
+    if (avail != 0) {
+      const unsigned start = w.rr_next % env_.num_workers;
+      const uint32_t hi = avail >> start;
+      const unsigned p = hi != 0
+                             ? start + static_cast<unsigned>(__builtin_ctz(hi))
+                             : static_cast<unsigned>(__builtin_ctz(avail));
       CrMrRing& r = RingAt(p, idx);
-      if (w.pop_cursor[p] >= r.head()) {
-        continue;
-      }
       {
         StageScope s(ctx, Stage::kQueue);
         co_await ctx.Read(r.head_addr(), 8);
@@ -578,8 +604,10 @@ Task<void> MuTpsServer::MrRun(unsigned idx) {
         w.rr_next = p + 1;
         const uint64_t seq = w.pop_cursor[p];
         w.pop_cursor[p]++;
+        if (w.pop_cursor[p] >= r.head()) {
+          mr_ready_[idx] &= ~(1u << p);
+        }
         co_await MrProcessSlot(idx, p, seq);
-        break;
       }
     }
     if (!found) {

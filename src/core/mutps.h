@@ -133,6 +133,11 @@ class MuTpsServer final : public KvServer {
     unsigned rr_next = 0;               // CR: round-robin MR target cursor
     uint64_t outstanding = 0;           // CR: forwarded, not yet completed
     unsigned local_ncr = 1;             // split under the adopted config
+    // CR: host-side summary of which target rings have batches in flight —
+    // bit t set iff seen_tail[t] < RingAt(idx, t).head(). Pure bookkeeping
+    // (no modeled state): lets CrPollCompletions visit exactly the rings the
+    // full scan would, without walking all W of them. Rebuilt on CR entry.
+    uint32_t cr_inflight = 0;
   };
 
   sim::Fiber WorkerMain(unsigned idx);
@@ -182,6 +187,11 @@ class MuTpsServer final : public KvServer {
   std::unique_ptr<RxRing> rx_;
   std::vector<CrMrRing> rings_;  // W x W, addressed by global worker ids
   std::vector<Worker> workers_;
+  // MR-side mirror of cr_inflight, indexed by CONSUMER (producers write it at
+  // AdvanceHead time): bit p set iff workers_[c].pop_cursor[p] <
+  // RingAt(p, c).head(). Valid while worker c runs MrRun (rebuilt on entry);
+  // lets the MR sweep jump straight to the round-robin-first ready producer.
+  std::vector<uint32_t> mr_ready_;
   std::vector<std::unique_ptr<RespBuffer>> resp_bufs_;
   std::unique_ptr<HotSetManager> hot_;
   sim::ExecCtx mgr_ctx_;

@@ -426,6 +426,8 @@ ExperimentResult TestBed::Run(const ExperimentConfig& cfg) {
     server->Stop();
   }
   eng.Run(eng.now() + 200 * sim::kUsec);
+  res.sched_events = eng.stats().events_processed;
+  res.sched_peak_pending = eng.stats().peak_heap;
   return res;
 }
 

@@ -97,6 +97,11 @@ struct ExperimentResult {
   uint64_t hot_hits = 0;         // μTPS CR hot-cache outcome counters
   uint64_t hot_misses = 0;
   std::string metrics_dump;      // MetricsRegistry::ToString() snapshot
+  // Host-side simulator effort for the whole run (populate excluded): how
+  // many engine events this point cost. wall-clock / sched_events is the
+  // simulator's core speed metric (see bench/selfperf.cc).
+  uint64_t sched_events = 0;
+  size_t sched_peak_pending = 0;
 };
 
 class TestBed {

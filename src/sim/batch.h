@@ -41,10 +41,14 @@ inline Task<void> RunBatch(ExecCtx& ctx, Task<void>* tasks, unsigned n,
     return live;
   };
   // Start every task; each runs until its first stall (parked into ctl),
-  // an engine-level wait (lock), or completion.
+  // an engine-level wait (lock), or completion. Manual resumes must come
+  // straight back here when the task suspends — disable the engine's
+  // symmetric-transfer fast path for their duration.
   for (unsigned i = 0; i < n; i++) {
     ctx.Charge(switch_ns);
+    ctx.eng->EnterNestedResume();
     tasks[i].handle().resume();
+    ctx.eng->ExitNestedResume();
   }
   while (count_live() > 0) {
     if (ctl.waiting.empty()) {
@@ -71,7 +75,9 @@ inline Task<void> RunBatch(ExecCtx& ctx, Task<void>* tasks, unsigned n,
       ctx.batch = &ctl;
     }
     ctx.Charge(switch_ns);
+    ctx.eng->EnterNestedResume();
     p.h.resume();
+    ctx.eng->ExitNestedResume();
   }
   ctx.batch = nullptr;
 }

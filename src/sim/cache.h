@@ -113,8 +113,11 @@ class MemoryModel {
     priv_tags_.assign(size_t{cfg.num_cores} * priv_sets_ * cfg.priv_ways, 0);
     priv_excl_.assign(priv_tags_.size(), 0);
     priv_order_.assign(priv_tags_.size(), 0);
+    priv_hint_.assign(size_t{cfg.num_cores} * priv_sets_, 0);
     llc_.assign(size_t{llc_sets_} * cfg.llc_ways, LlcEntry{});
+    llc_tags_.assign(llc_.size(), 0);
     llc_order_.assign(size_t{llc_sets_} * cfg.llc_ways, 0);
+    llc_hint_.assign(llc_sets_, 0);
     for (uint32_t s = 0; s < llc_sets_; s++) {
       for (unsigned w = 0; w < cfg.llc_ways; w++) {
         llc_order_[size_t{s} * cfg.llc_ways + w] = static_cast<uint8_t>(w);
@@ -145,21 +148,16 @@ class MemoryModel {
   AccessResult Access(CoreId core, ClosId clos, Stage stage, const void* addr,
                       size_t len, bool write, bool rmw = false) {
     const uintptr_t a = reinterpret_cast<uintptr_t>(addr);
-    uint64_t first = a >> 6;
-    uint64_t last = (a + (len == 0 ? 0 : len - 1)) >> 6;
+    const uint64_t first = a >> 6;
+    const uint64_t last = (a + (len == 0 ? 0 : len - 1)) >> 6;
     AccessResult r;
-    bool first_line = true;
-    for (uint64_t line = first; line <= last; line++) {
+    // Single-line accesses (the overwhelming majority) skip the stream loop.
+    r.latency = AccessLine(core, clos, stage, first, write, &r.private_hit);
+    for (uint64_t line = first + 1; line <= last; line++) {
       bool priv_hit = false;
-      Tick lat = AccessLine(core, clos, stage, line, write, &priv_hit);
-      if (first_line) {
-        r.latency = lat;
-        r.private_hit = priv_hit;
-        first_line = false;
-      } else {
-        r.latency += priv_hit ? cfg_.priv_hit_ns : cfg_.stream_line_ns;
-        r.private_hit = r.private_hit && priv_hit;
-      }
+      AccessLine(core, clos, stage, line, write, &priv_hit);
+      r.latency += priv_hit ? cfg_.priv_hit_ns : cfg_.stream_line_ns;
+      r.private_hit = r.private_hit && priv_hit;
     }
     if (rmw) {
       r.latency += cfg_.atomic_extra_ns;
@@ -228,7 +226,10 @@ class MemoryModel {
   // populated store).
   void FlushAll() {
     std::fill(priv_tags_.begin(), priv_tags_.end(), 0);
+    std::fill(priv_hint_.begin(), priv_hint_.end(), 0);
     std::fill(llc_.begin(), llc_.end(), LlcEntry{});
+    std::fill(llc_tags_.begin(), llc_tags_.end(), 0);
+    std::fill(llc_hint_.begin(), llc_hint_.end(), 0);
   }
 
   const MachineConfig& config() const { return cfg_; }
@@ -236,8 +237,9 @@ class MemoryModel {
   static constexpr unsigned kMaxClos = 8;
 
  private:
+  // Per-way coherence state; the tag itself lives in the packed llc_tags_
+  // array so probes scan contiguous words instead of striding through these.
   struct LlcEntry {
-    uint64_t tag = 0;  // line address + 1 (0 = invalid)
     uint32_t sharers = 0;
     int8_t owner = -1;  // core holding the line exclusively, -1 = shared
     bool dirty = false;
@@ -256,23 +258,57 @@ class MemoryModel {
   size_t LlcBase(uint32_t set) const { return size_t{set} * cfg_.llc_ways; }
 
   // Probe the private cache; on hit move the way to MRU position.
+  //
+  // Scans the packed tag array instead of chasing the recency order. Unlike
+  // the LLC, a private set CAN briefly hold two copies of one line: the write
+  // -upgrade path in AccessLine calls PrivFill for a line that already sits
+  // in another way (shared), and the recency walk then always finds the newer
+  // exclusive copy — it is installed at MRU and relative order of the two
+  // copies never changes afterwards. So a multi-way match must be resolved
+  // through the order array to stay bit-identical to the baseline walk. The
+  // per-set last-hit-way hint is safe under this: PrivFill repoints it at the
+  // installed way, so a hint that still matches the tag is always the
+  // order-first copy.
   bool PrivProbe(CoreId core, uint64_t line, size_t* entry_out) {
     const uint32_t set = PrivSet(line);
     const size_t base = PrivBase(core, set);
     const uint64_t tag = line + 1;
-    for (unsigned i = 0; i < cfg_.priv_ways; i++) {
-      const unsigned way = priv_order_[base + i];
-      if (priv_tags_[base + way] == tag) {
-        // Move-to-front in the recency order.
-        for (unsigned j = i; j > 0; j--) {
-          priv_order_[base + j] = priv_order_[base + j - 1];
-        }
-        priv_order_[base] = static_cast<uint8_t>(way);
-        *entry_out = base + way;
-        return true;
+    const uint64_t* tags = priv_tags_.data() + base;
+    const unsigned ways = cfg_.priv_ways;
+    const size_t hint_idx = size_t{core} * priv_sets_ + set;
+    uint8_t* order = priv_order_.data() + base;
+    unsigned way = priv_hint_[hint_idx];
+    if (tags[way] != tag) {
+      uint32_t match = 0;
+      for (unsigned w = 0; w < ways; w++) {
+        match |= static_cast<uint32_t>(tags[w] == tag) << w;
       }
+      if (match == 0) {
+        return false;
+      }
+      if (UTPS_LIKELY((match & (match - 1)) == 0)) {
+        way = static_cast<unsigned>(__builtin_ctz(match));
+      } else {
+        // Duplicate copies: first in recency order wins (baseline semantics).
+        unsigned i = 0;
+        while ((match >> order[i] & 1u) == 0) {
+          i++;
+        }
+        way = order[i];
+      }
+      priv_hint_[hint_idx] = static_cast<uint8_t>(way);
     }
-    return false;
+    // Move-to-front in the recency order.
+    unsigned i = 0;
+    while (order[i] != way) {
+      i++;
+    }
+    for (; i > 0; i--) {
+      order[i] = order[i - 1];
+    }
+    order[0] = static_cast<uint8_t>(way);
+    *entry_out = base + way;
+    return true;
   }
 
   // Insert a line into the private cache; evicts LRU way. On eviction, clears
@@ -287,6 +323,10 @@ class MemoryModel {
     }
     priv_tags_[base + victim] = line + 1;
     priv_excl_[base + victim] = exclusive ? 1 : 0;
+    // Keep the probe hint coherent: the installed copy is the one a recency
+    // walk would now find first (matters when a write upgrade creates a
+    // second copy of a line already in the set — see PrivProbe).
+    priv_hint_[size_t{core} * priv_sets_ + set] = static_cast<uint8_t>(victim);
     for (unsigned j = cfg_.priv_ways - 1; j > 0; j--) {
       priv_order_[base + j] = priv_order_[base + j - 1];
     }
@@ -318,23 +358,38 @@ class MemoryModel {
     }
   }
 
+  // LLC probe: same packed-tag + hint structure as PrivProbe (see its
+  // comment for the equivalence argument).
   bool LlcProbe(uint32_t set, uint64_t line, unsigned* way_out, bool touch = true) {
     const size_t base = LlcBase(set);
     const uint64_t tag = line + 1;
-    for (unsigned i = 0; i < cfg_.llc_ways; i++) {
-      const unsigned way = llc_order_[base + i];
-      if (llc_[base + way].tag == tag) {
-        if (touch) {
-          for (unsigned j = i; j > 0; j--) {
-            llc_order_[base + j] = llc_order_[base + j - 1];
-          }
-          llc_order_[base] = static_cast<uint8_t>(way);
-        }
-        *way_out = way;
-        return true;
+    const uint64_t* tags = llc_tags_.data() + base;
+    const unsigned ways = cfg_.llc_ways;
+    unsigned way = llc_hint_[set];
+    if (tags[way] != tag) {
+      unsigned w = 0;
+      while (w < ways && tags[w] != tag) {
+        w++;
       }
+      if (w == ways) {
+        return false;
+      }
+      way = w;
+      llc_hint_[set] = static_cast<uint8_t>(way);
     }
-    return false;
+    if (touch) {
+      uint8_t* order = llc_order_.data() + base;
+      unsigned i = 0;
+      while (order[i] != way) {
+        i++;
+      }
+      for (; i > 0; i--) {
+        order[i] = order[i - 1];
+      }
+      order[0] = static_cast<uint8_t>(way);
+    }
+    *way_out = way;
+    return true;
   }
 
   // Choose an eviction victim within `allowed_mask`: the least recently used
@@ -355,9 +410,10 @@ class MemoryModel {
                   int8_t owner, bool dirty) {
     const size_t base = LlcBase(set);
     LlcEntry& e = llc_[base + way];
-    if (e.tag != 0) {
+    uint64_t& tag_slot = llc_tags_[base + way];
+    if (tag_slot != 0) {
       // Inclusive LLC: back-invalidate private copies of the victim line.
-      const uint64_t old_line = e.tag - 1;
+      const uint64_t old_line = tag_slot - 1;
       uint32_t s = e.sharers;
       while (s != 0) {
         const unsigned c = static_cast<unsigned>(__builtin_ctz(s));
@@ -365,7 +421,8 @@ class MemoryModel {
         PrivInvalidate(static_cast<CoreId>(c), old_line);
       }
     }
-    e.tag = line + 1;
+    tag_slot = line + 1;
+    llc_hint_[set] = static_cast<uint8_t>(way);
     e.sharers = sharers;
     e.owner = owner;
     e.dirty = dirty;
@@ -497,8 +554,11 @@ class MemoryModel {
   std::vector<uint64_t> priv_tags_;   // [core][set][way] -> line+1 (0 invalid)
   std::vector<uint8_t> priv_excl_;    // [core][set][way] -> exclusive?
   std::vector<uint8_t> priv_order_;   // [core][set][i] -> way, MRU first
-  std::vector<LlcEntry> llc_;         // [set][way]
+  std::vector<uint8_t> priv_hint_;    // [core][set] -> last-hit way
+  std::vector<LlcEntry> llc_;         // [set][way] coherence state
+  std::vector<uint64_t> llc_tags_;    // [set][way] -> line+1 (0 invalid), packed
   std::vector<uint8_t> llc_order_;    // [set][i] -> way, MRU first
+  std::vector<uint8_t> llc_hint_;     // [set] -> last-hit way
 
   uint32_t clos_masks_[kMaxClos] = {};
   std::vector<CoreCounters> counters_;

@@ -46,7 +46,7 @@ struct SuspendAwaiter {
   bool batchable = true;
 
   bool await_ready() const noexcept { return ready; }
-  inline void await_suspend(std::coroutine_handle<> h) noexcept;
+  inline std::coroutine_handle<> await_suspend(std::coroutine_handle<> h) noexcept;
   void await_resume() const noexcept {}
 };
 
@@ -128,7 +128,8 @@ struct ExecCtx {
   }
 };
 
-inline void SuspendAwaiter::await_suspend(std::coroutine_handle<> h) noexcept {
+inline std::coroutine_handle<> SuspendAwaiter::await_suspend(
+    std::coroutine_handle<> h) noexcept {
   const Tick t = ctx->eng->now() + ctx->pending + extra;
   ctx->fast_ops = 0;
   // Attribute the suspension's own cost (fill stall / delay) to the stage
@@ -141,12 +142,16 @@ inline void SuspendAwaiter::await_suspend(std::coroutine_handle<> h) noexcept {
   if (batchable && ctx->batch != nullptr) {
     // Park in the batch: only the fill stall (`extra`) overlaps with other
     // coroutines. The accrued CPU time (ctx->pending) stays on the core
-    // clock — the driver's next action happens after it.
+    // clock — the driver's next action happens after it. Control must return
+    // to the driver's manual resume loop, never jump to another fiber.
     ctx->batch->waiting.push_back(BatchCtl::Parked{h, t});
-    return;
+    return std::noop_coroutine();
   }
   ctx->pending = 0;
   ctx->eng->ScheduleAt(t, h);
+  // This fiber is fully parked; if another event is due at this exact tick,
+  // transfer straight to it instead of unwinding to the dispatch loop.
+  return ctx->eng->NextRunnable();
 }
 
 // Sets ctx.stage for a scope (RAII), for PCM-style stage attribution.

@@ -18,6 +18,7 @@
 
 #include <cstring>
 #include <deque>
+#include <utility>
 #include <vector>
 
 #include "common/macros.h"
@@ -118,7 +119,7 @@ class Nic {
     if (q.empty() || q.front().arrival_tick > now) {
       return false;
     }
-    *out = q.front();
+    *out = std::move(q.front());
     q.pop_front();
     return true;
   }

@@ -21,8 +21,12 @@ class WaitQueue {
  public:
   struct Awaiter {
     WaitQueue* q;
+    Engine* eng;
     bool await_ready() const noexcept { return false; }
-    void await_suspend(std::coroutine_handle<> h) { q->waiters_.push_back(h); }
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<> h) {
+      q->waiters_.push_back(h);
+      return eng->NextRunnable();
+    }
     void await_resume() const noexcept {}
   };
 
@@ -31,7 +35,7 @@ class WaitQueue {
   Awaiter Wait(ExecCtx& ctx) {
     ctx.pending = 0;  // waiting absorbs any sub-ns local charge
     ctx.fast_ops = 0;
-    return Awaiter{this};
+    return Awaiter{this, ctx.eng};
   }
 
   // Wake the first waiter at virtual time `at`.
@@ -85,7 +89,7 @@ class SimSpinlock {
       } else {
         l->waiters_.push_back(h);
       }
-      return std::noop_coroutine();
+      return ctx->eng->NextRunnable();
     }
     void await_resume() const noexcept {}
   };
@@ -153,7 +157,7 @@ class OneShot {
     bool await_ready() const noexcept {
       return o->ready_ && o->ready_at_ <= ctx->eng->now();
     }
-    void await_suspend(std::coroutine_handle<> h) {
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<> h) {
       ctx->pending = 0;
       ctx->fast_ops = 0;
       if (o->ready_) {
@@ -163,6 +167,7 @@ class OneShot {
         o->waiter_ = h;
         o->waiter_eng_ = ctx->eng;
       }
+      return ctx->eng->NextRunnable();
     }
     void await_resume() const noexcept {}
   };

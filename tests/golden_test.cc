@@ -1,0 +1,138 @@
+// Golden-row regression test: runs tiny-scale versions of the Figure 2 and
+// Figure 12 experiment configurations in-process and compares the result rows
+// byte-for-byte against checked-in expectations (tests/golden_expected.inc).
+//
+// Purpose: scheduler / cache-model / awaitable refactors must keep the
+// simulation byte-identical. dst_determinism_test catches nondeterminism
+// *within* one build; this test catches semantic drift *across* builds — a
+// perf change that silently reorders events or shifts a latency shows up as
+// a golden mismatch here.
+//
+// Regenerating expectations (only when a change intentionally alters timing
+// semantics — say so in the commit message):
+//   MUTPS_GOLDEN_REGEN=1 ./build/tests/golden_test > /tmp/golden
+//   then paste the rows between the markers into tests/golden_expected.inc.
+//
+// The configurations are hardcoded (no MUTPS_* env influence) so the rows are
+// comparable across machines and CI runs.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+
+namespace utps {
+namespace {
+
+constexpr uint64_t kKeys = 20000;
+
+std::string FormatRow(const char* tag, const char* system, const char* mix,
+                      const ExperimentResult& r) {
+  char buf[320];
+  std::snprintf(
+      buf, sizeof(buf),
+      "%s|%s|%s|mops=%.3f|ops=%llu|p50=%llu|p99=%llu|mean=%llu|llc=%.4f|"
+      "poll=%.4f|idx=%.4f|ncr=%u|hot=%llu/%llu|events=%llu",
+      tag, system, mix, r.mops, static_cast<unsigned long long>(r.ops),
+      static_cast<unsigned long long>(r.p50_ns),
+      static_cast<unsigned long long>(r.p99_ns),
+      static_cast<unsigned long long>(r.mean_ns), r.llc_miss_rate,
+      r.poll_miss_rate, r.index_miss_rate, r.ncr,
+      static_cast<unsigned long long>(r.hot_hits),
+      static_cast<unsigned long long>(r.hot_misses),
+      static_cast<unsigned long long>(r.sched_events));
+  return std::string(buf);
+}
+
+// Short fixed windows: enough virtual time for every system to reach steady
+// state at 20k keys while keeping the whole test a few seconds of host time.
+ExperimentConfig TinyConfig(SystemKind system, const WorkloadSpec& spec) {
+  ExperimentConfig cfg;
+  cfg.system = system;
+  cfg.workload = spec;
+  cfg.client_threads = 16;
+  cfg.pipeline_depth = 4;
+  if (system == SystemKind::kRaceHash || system == SystemKind::kSherman) {
+    cfg.pipeline_depth = 2;  // passive clients, as in StdConfig
+  }
+  cfg.warmup_ns = 150 * sim::kUsec;
+  cfg.measure_ns = 300 * sim::kUsec;
+  cfg.max_warmup_ns = 2 * sim::kMsec;
+  // Fixed thread split and hot-cache size: the auto-tuner's search order is
+  // covered by its own tests; goldens pin the steady-state data path.
+  cfg.mutps.autotune = false;
+  cfg.mutps.initial_ncr = 0;  // heuristic: workers / 3
+  return cfg;
+}
+
+std::vector<std::string> RunGoldenRows() {
+  std::vector<std::string> rows;
+
+  {
+    // Figure 2 / Figure 7 shapes: tree index, 64 B values, RTC baselines vs
+    // μTPS vs a one-sided passive system.
+    TestBed bed(IndexType::kTree, WorkloadSpec::YcsbA(kKeys, 64));
+    const WorkloadSpec ycsba = WorkloadSpec::YcsbA(kKeys, 64);
+    const WorkloadSpec ycsbc = WorkloadSpec::YcsbC(kKeys, 64);
+    rows.push_back(FormatRow(
+        "fig02", "BaseKV", "YCSB-A",
+        bed.Run(TinyConfig(SystemKind::kBaseKv, ycsba))));
+    rows.push_back(FormatRow(
+        "fig02", "eRPCKV", "YCSB-A",
+        bed.Run(TinyConfig(SystemKind::kErpcKv, ycsba))));
+    rows.push_back(FormatRow(
+        "fig02", "uTPS-T", "YCSB-A",
+        bed.Run(TinyConfig(SystemKind::kMuTps, ycsba))));
+    rows.push_back(FormatRow(
+        "fig02", "Sherman", "YCSB-C",
+        bed.Run(TinyConfig(SystemKind::kSherman, ycsbc))));
+  }
+
+  {
+    // Figure 12 shape: hash index, 8 B values, CR-MR batch-size ablation
+    // (batch 1 = serial MR indexing, batch 8 = overlapped misses).
+    TestBed bed(IndexType::kHash, WorkloadSpec::YcsbA(kKeys, 8));
+    const WorkloadSpec ycsba = WorkloadSpec::YcsbA(kKeys, 8);
+    const WorkloadSpec ycsbc = WorkloadSpec::YcsbC(kKeys, 8);
+    for (unsigned batch : {1u, 8u}) {
+      ExperimentConfig cfg = TinyConfig(SystemKind::kMuTps, ycsba);
+      cfg.mutps.batch_size = batch;
+      char tag[32];
+      std::snprintf(tag, sizeof(tag), "fig12-b%u", batch);
+      rows.push_back(FormatRow(tag, "uTPS-H", "YCSB-A", bed.Run(cfg)));
+    }
+    rows.push_back(FormatRow(
+        "fig12", "RaceHash", "YCSB-C",
+        bed.Run(TinyConfig(SystemKind::kRaceHash, ycsbc))));
+  }
+
+  return rows;
+}
+
+const char* const kExpectedRows[] = {
+#include "golden_expected.inc"
+};
+
+TEST(Golden, RowsMatchCheckedInExpectations) {
+  const std::vector<std::string> rows = RunGoldenRows();
+  if (std::getenv("MUTPS_GOLDEN_REGEN") != nullptr) {
+    std::printf("-- golden rows (paste into tests/golden_expected.inc) --\n");
+    for (const std::string& r : rows) {
+      std::printf("    \"%s\",\n", r.c_str());
+    }
+    return;
+  }
+  const size_t expected_n = sizeof(kExpectedRows) / sizeof(kExpectedRows[0]);
+  ASSERT_EQ(rows.size(), expected_n);
+  for (size_t i = 0; i < expected_n; i++) {
+    EXPECT_EQ(rows[i], kExpectedRows[i]) << "golden row " << i << " shifted — "
+        << "a refactor changed simulation semantics (see tests/golden_test.cc "
+        << "header for how to regenerate if the change is intentional)";
+  }
+}
+
+}  // namespace
+}  // namespace utps

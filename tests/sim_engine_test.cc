@@ -2,6 +2,7 @@
 // awaitables, and synchronization primitives.
 #include <gtest/gtest.h>
 
+#include <utility>
 #include <vector>
 
 #include "sim/engine.h"
@@ -200,6 +201,82 @@ TEST(Engine, StatsCountEventsAndPeakHeap) {
   EXPECT_EQ(s.events_scheduled, 3u);
   EXPECT_EQ(s.events_processed, 3u);
   EXPECT_GE(s.peak_heap, 1u);
+}
+
+// Events beyond the near-future bucket ring's window (8192 ns) go through
+// the far heap; both classes must still dispatch in global timestamp order,
+// including ties exactly at the ring boundary.
+Fiber StampAt(ExecCtx* ctx, Tick delay, int id,
+              std::vector<std::pair<Tick, int>>* log) {
+  co_await ctx->Delay(delay);
+  log->emplace_back(ctx->eng->now(), id);
+}
+
+TEST(Engine, FarHorizonEventsInterleaveWithNearOnes) {
+  Engine eng;
+  constexpr int kN = 6;
+  const Tick delays[kN] = {50, 100000, 8191, 8192, 20000, 3};
+  std::vector<ExecCtx> ctxs(kN);
+  std::vector<std::pair<Tick, int>> log;
+  for (int i = 0; i < kN; i++) {
+    ctxs[i] = ExecCtx{.eng = &eng};
+    eng.Spawn(StampAt(&ctxs[i], delays[i], i, &log));
+  }
+  eng.RunToQuiescence(kSec);
+  const std::vector<std::pair<Tick, int>> expected = {
+      {3, 5}, {50, 0}, {8191, 2}, {8192, 3}, {20000, 4}, {100000, 1}};
+  EXPECT_EQ(expected, log);
+}
+
+// Same-tick resumptions hand off fiber-to-fiber via symmetric transfer; the
+// chain must preserve FIFO seq order and survive chains far longer than the
+// engine's handoff depth cap (which periodically bounces through the
+// dispatch loop).
+Fiber ZeroChain(ExecCtx* ctx, int iters, int id, std::vector<int>* log) {
+  for (int i = 0; i < iters; i++) {
+    co_await ctx->Delay(0);
+    log->push_back(id);
+  }
+}
+
+TEST(Engine, LongSameTickHandoffChainKeepsFifoOrder) {
+  Engine eng;
+  constexpr int kN = 3;
+  constexpr int kIters = 500;  // 1500 same-tick events >> handoff depth cap
+  std::vector<ExecCtx> ctxs(kN);
+  std::vector<int> log;
+  for (int i = 0; i < kN; i++) {
+    ctxs[i] = ExecCtx{.eng = &eng};
+    eng.Spawn(ZeroChain(&ctxs[i], kIters, i, &log));
+  }
+  eng.RunToQuiescence(kSec);
+  EXPECT_EQ(eng.now(), 0u);  // everything ran at virtual time zero
+  EXPECT_GT(eng.stats().handoffs, 0u);
+  ASSERT_EQ(log.size(), size_t{kN} * kIters);
+  for (size_t i = 0; i < log.size(); i++) {
+    ASSERT_EQ(log[i], static_cast<int>(i % kN)) << "position " << i;
+  }
+}
+
+// With perturbation enabled the symmetric-transfer fast path must stand
+// down: dispatch order is the perturbed (t, prio, seq) order, which the
+// handoff shortcut cannot honour.
+TEST(Engine, PerturbationDisablesHandoffFastPath) {
+  Engine eng;
+  Engine::PerturbConfig pcfg;
+  pcfg.seed = 1234;
+  pcfg.permute_ties = true;
+  eng.EnablePerturbation(pcfg);
+  constexpr int kN = 3;
+  std::vector<ExecCtx> ctxs(kN);
+  std::vector<int> log;
+  for (int i = 0; i < kN; i++) {
+    ctxs[i] = ExecCtx{.eng = &eng};
+    eng.Spawn(ZeroChain(&ctxs[i], 100, i, &log));
+  }
+  eng.RunToQuiescence(kSec);
+  EXPECT_EQ(log.size(), size_t{kN} * 100);
+  EXPECT_EQ(eng.stats().handoffs, 0u);
 }
 
 // Teardown of blocked fibers must not leak or crash.
