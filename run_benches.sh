@@ -9,6 +9,9 @@
 #
 # MUTPS_DST=1 first runs the correctness-checking harness (DST seed sweep +
 # mutation smoke-check) under the asan preset via run_checks.sh (DESIGN.md §8).
+#
+# The bench glob includes fig15_resilience (DESIGN.md §9): by default it
+# injects a worker crash-stop + restart; MUTPS_FAULTS overrides the profile.
 set -euo pipefail
 cd "$(dirname "$0")"
 

@@ -10,14 +10,24 @@
 #                   sanitizer CI job for the checking harness.
 # MUTPS_DST_SEEDS=N overrides the seed count (the ASan leg defaults to 6
 #                   because each simulated run is ~10x slower under ASan).
+# MUTPS_DST_FAULTS=1 additionally runs the DST fault-profile sweep (loss+dup,
+#                   straggler, crash-restart x seeds under the linearizability
+#                   checker, DESIGN.md §9). Implied by MUTPS_DST=1.
 set -euo pipefail
 cd "$(dirname "$0")"
 
-CHECKS='dst_test|dst_determinism_test|dst_mutation_test|crmr_queue_test|store_test'
+CHECKS='dst_test|dst_determinism_test|dst_fault_test|dst_mutation_test|crmr_queue_test|store_test|fault_test'
 
 cmake --preset default >/dev/null
 cmake --build --preset default -j "$(nproc)"
 ctest --preset default -R "$CHECKS" -j "$(nproc)"
+
+if [ "${MUTPS_DST_FAULTS:-0}" != "0" ] || [ "${MUTPS_DST:-0}" != "0" ]; then
+  echo "=== DST fault-profile sweep (3 profiles x extra seeds) ==="
+  MUTPS_DST_FAULT_SEEDS="${MUTPS_DST_FAULT_SEEDS:-12}" \
+    ./build/tests/dst/dst_fault_test --gtest_filter='DstFaults.*'
+  echo "=== fault-profile sweep passed ==="
+fi
 
 if [ "${MUTPS_DST:-0}" != "0" ]; then
   echo "=== DST short sweep under ASan+UBSan (preset asan) ==="

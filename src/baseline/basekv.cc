@@ -21,6 +21,13 @@ Fiber BaseKvServer::WorkerMain(unsigned idx) {
   uint64_t next_seq = idx;
   const unsigned n = env_.num_workers;
   while (!stop_) {
+    if (UTPS_UNLIKELY(env_.fault != nullptr) && env_.fault->IsCrashed(idx)) {
+      // Crash-stop: no failover path here — the crashed worker's residue of
+      // shared-ring slots simply stalls until restart (contrast with μTPS,
+      // which reassigns the dead worker's load; see bench/fig15).
+      co_await ctx.Delay(sim::kUsec);
+      continue;
+    }
     bool claimed = false;
     {
       StageScope s(ctx, Stage::kPoll);
@@ -63,9 +70,29 @@ Task<void> BaseKvServer::ProcessOne(unsigned idx, uint64_t seq, unsigned rec_idx
     ctx.Charge(env_.parse_cpu_ns);
   }
   const sim::NicMessage& msg = rx_->Msgs(seq)[rec_idx];
+  const OpType op = rec->op();
+  const bool is_write = op == OpType::kPut || op == OpType::kDelete;
+  // At-most-once writes (DESIGN.md §9): a retransmitted or NIC-duplicated
+  // write must not be applied twice. Reads are idempotent and re-execute.
+  if (UTPS_UNLIKELY(msg.rid != 0) && is_write) {
+    const DedupWindow::Verdict v = dedup_.Begin(msg.rid);
+    if (v == DedupWindow::Verdict::kInFlight) {
+      // First copy still executing; its response answers the rid.
+      rx_->CompleteOne(seq);
+      co_return;
+    }
+    if (v == DedupWindow::Verdict::kDone) {
+      StageScope s(ctx, Stage::kRespond);
+      ctx.Charge(env_.respond_cpu_ns);
+      env_.nic->ServerSend(ctx, msg, nullptr, 0);  // replay the empty ack
+      rx_->CompleteOne(seq);
+      w.ops++;
+      co_return;
+    }
+  }
   const uint8_t* resp = nullptr;
   uint32_t resp_len = 0;
-  switch (rec->op()) {
+  switch (op) {
     case OpType::kGet: {
       uint8_t* r = w.resp->Alloc(std::min(rec->value_len() + 8, kMaxValueBytes));
       resp_len = co_await ExecGet(ctx, env_, rec->key, r);
@@ -94,6 +121,9 @@ Task<void> BaseKvServer::ProcessOne(unsigned idx, uint64_t seq, unsigned rec_idx
   {
     StageScope s(ctx, Stage::kRespond);
     ctx.Charge(env_.respond_cpu_ns);
+    if (UTPS_UNLIKELY(msg.rid != 0) && is_write) {
+      dedup_.Complete(msg.rid);
+    }
     env_.nic->ServerSend(ctx, msg, resp, resp_len);
     rx_->CompleteOne(seq);
     w.ops++;

@@ -43,6 +43,9 @@ class BaseKvServer final : public KvServer {
 
   void Start() override {
     for (unsigned i = 0; i < env_.num_workers; i++) {
+      if (env_.fault != nullptr) {
+        workers_[i].ctx.slow_q8 = env_.fault->SlowPtr(i);
+      }
       env_.eng->Spawn(WorkerMain(i));
     }
   }
@@ -61,6 +64,13 @@ class BaseKvServer final : public KvServer {
     }
   }
   const char* Name() const override { return "BaseKV"; }
+  void ExportMetrics(obs::MetricsRegistry* m) const override {
+    if (m == nullptr || env_.fault == nullptr) {
+      return;  // gate on the injector: faultless output stays byte-identical
+    }
+    m->Count("basekv", "dedup_done", dedup_.dup_done());
+    m->Count("basekv", "dedup_inflight", dedup_.dup_inflight());
+  }
 
  private:
   struct Worker {
@@ -77,6 +87,7 @@ class BaseKvServer final : public KvServer {
   std::unique_ptr<RxRing> rx_;
   std::vector<Worker> workers_;
   std::vector<std::unique_ptr<RespBuffer>> resp_bufs_;
+  DedupWindow dedup_;  // at-most-once writes under retry (DESIGN.md §9)
   bool stop_ = false;
 };
 

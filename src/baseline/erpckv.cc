@@ -21,6 +21,12 @@ Fiber ErpcKvServer::WorkerMain(unsigned idx) {
   RxRing& ring = *rx_[idx];
   uint64_t next_seq = 0;
   while (!stop_) {
+    if (UTPS_UNLIKELY(env_.fault != nullptr) && env_.fault->IsCrashed(idx)) {
+      // Crash-stop: share-nothing has no failover — every key hashed to this
+      // worker's shard stalls until restart (contrast with μTPS; see fig15).
+      co_await ctx.Delay(sim::kUsec);
+      continue;
+    }
     bool claimed = false;
     {
       StageScope s(ctx, Stage::kPoll);
@@ -64,9 +70,27 @@ Task<void> ErpcKvServer::ProcessOne(unsigned idx, uint64_t seq, unsigned rec_idx
   ServerEnv shard_env = env_;
   shard_env.index = shards_[idx];
   const sim::NicMessage& msg = ring.Msgs(seq)[rec_idx];
+  const OpType op = rec->op();
+  const bool is_write = op == OpType::kPut || op == OpType::kDelete;
+  // At-most-once writes (DESIGN.md §9), as in BaseKV.
+  if (UTPS_UNLIKELY(msg.rid != 0) && is_write) {
+    const DedupWindow::Verdict v = dedup_.Begin(msg.rid);
+    if (v == DedupWindow::Verdict::kInFlight) {
+      ring.CompleteOne(seq);
+      co_return;
+    }
+    if (v == DedupWindow::Verdict::kDone) {
+      StageScope s(ctx, Stage::kRespond);
+      ctx.Charge(env_.respond_cpu_ns);
+      env_.nic->ServerSend(ctx, msg, nullptr, 0);  // replay the empty ack
+      ring.CompleteOne(seq);
+      w.ops++;
+      co_return;
+    }
+  }
   const uint8_t* resp = nullptr;
   uint32_t resp_len = 0;
-  switch (rec->op()) {
+  switch (op) {
     case OpType::kGet: {
       uint8_t* r = w.resp->Alloc(std::min(rec->value_len() + 8, kMaxValueBytes));
       resp_len = co_await ExecGet(ctx, shard_env, rec->key, r);
@@ -99,6 +123,9 @@ Task<void> ErpcKvServer::ProcessOne(unsigned idx, uint64_t seq, unsigned rec_idx
   {
     StageScope s(ctx, Stage::kRespond);
     ctx.Charge(env_.respond_cpu_ns);
+    if (UTPS_UNLIKELY(msg.rid != 0) && is_write) {
+      dedup_.Complete(msg.rid);
+    }
     env_.nic->ServerSend(ctx, msg, resp, resp_len);
     ring.CompleteOne(seq);
     w.ops++;

@@ -51,6 +51,9 @@ class ErpcKvServer final : public KvServer {
 
   void Start() override {
     for (unsigned i = 0; i < env_.num_workers; i++) {
+      if (env_.fault != nullptr) {
+        workers_[i].ctx.slow_q8 = env_.fault->SlowPtr(i);
+      }
       env_.eng->Spawn(WorkerMain(i));
     }
   }
@@ -72,6 +75,13 @@ class ErpcKvServer final : public KvServer {
     }
   }
   const char* Name() const override { return "eRPCKV"; }
+  void ExportMetrics(obs::MetricsRegistry* m) const override {
+    if (m == nullptr || env_.fault == nullptr) {
+      return;  // gate on the injector: faultless output stays byte-identical
+    }
+    m->Count("erpckv", "dedup_done", dedup_.dup_done());
+    m->Count("erpckv", "dedup_inflight", dedup_.dup_inflight());
+  }
 
   // Shard routing shared with the populator.
   static uint64_t ShardOf(Key key, unsigned n) { return Mix64(key) % n; }
@@ -92,6 +102,7 @@ class ErpcKvServer final : public KvServer {
   std::vector<std::unique_ptr<RxRing>> rx_;
   std::vector<Worker> workers_;
   std::vector<std::unique_ptr<RespBuffer>> resp_bufs_;
+  DedupWindow dedup_;  // at-most-once writes under retry (DESIGN.md §9)
   bool stop_ = false;
 };
 

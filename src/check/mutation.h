@@ -22,6 +22,11 @@ enum class Mode : uint8_t {
   // reaches the CR worker, so its responses (and every later batch on that
   // ring) are never sent — ops hang and the ring fails its quiesce audit.
   kSkipRingTailPublish = 2,
+  // DedupWindow::Begin always answers kExecute: a retransmitted or duplicated
+  // PUT/DELETE is applied again. Under a loss+dup fault plan the second apply
+  // can straddle another writer's PUT to the same key, so a later read returns
+  // the resurrected old value — a stale-read linearizability violation.
+  kDropDedupWindow = 3,
 };
 
 inline Mode g_mode = Mode::kNone;
@@ -60,9 +65,18 @@ inline bool SkipRingTailPublish() {
   g_fired++;
   return true;
 }
+
+inline bool DropDedupWindow() {
+  if (g_mode != Mode::kDropDedupWindow) {
+    return false;
+  }
+  g_fired++;
+  return true;
+}
 #else
 inline constexpr bool DropSeqlockBump() { return false; }
 inline constexpr bool SkipRingTailPublish() { return false; }
+inline constexpr bool DropDedupWindow() { return false; }
 #endif
 
 }  // namespace utps::mut

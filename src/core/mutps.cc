@@ -49,6 +49,12 @@ MuTpsServer::MuTpsServer(const ServerEnv& env, const Options& opt)
   }
   mgr_ctx_ = ExecCtx{.eng = env_.eng, .mem = env_.mem,
                      .core = static_cast<sim::CoreId>(w < 32 ? w : 0)};
+  // The health probe salvages rings on the management core under the MR CLOS
+  // (it substitutes for a dead MR worker).
+  probe_ctx_ = ExecCtx{.eng = env_.eng, .mem = env_.mem,
+                       .core = static_cast<sim::CoreId>(w < 32 ? w : 0),
+                       .clos = opt_.mr_clos};
+  hb_seen_.assign(w, 0);
   mgr_tid_ = w;  // distinct tracer lane even when the sim core id wraps
   if (env_.obs != nullptr) {
     mgr_ctx_.stage_ns = env_.obs->StageNs(w);
@@ -77,11 +83,19 @@ void MuTpsServer::Start() {
     }
     trc_->SetThreadName(obs::Tracer::kServerPid, mgr_tid_, "manager");
   }
+  if (env_.fault != nullptr) {
+    for (unsigned i = 0; i < env_.num_workers; i++) {
+      workers_[i].ctx.slow_q8 = env_.fault->SlowPtr(i);
+    }
+  }
   for (unsigned i = 0; i < env_.num_workers; i++) {
     workers_[i].adopted_version = cfg_.version;
     env_.eng->Spawn(WorkerMain(i));
   }
   env_.eng->Spawn(ManagerMain());
+  if (env_.fault != nullptr) {
+    env_.eng->Spawn(HealthProbeMain());
+  }
 }
 
 uint64_t MuTpsServer::OpsCompleted() const {
@@ -130,6 +144,15 @@ void MuTpsServer::ExportMetrics(obs::MetricsRegistry* m) const {
   m->SetGauge("mutps", "cache_items", hot_->ActiveCount());
   m->SetGauge("mutps", "mr_llc_ways", mr_ways_);
   m->SetGauge("mutps", "peak_ring_occ", peak_ring_occ_);
+  if (env_.fault != nullptr) {
+    // Only under an installed injector, so faultless metric output is
+    // byte-identical to pre-fault builds.
+    m->Count("mutps", "failovers", failover_count_);
+    m->Count("mutps", "restores", restore_count_);
+    m->Count("mutps", "salvaged_slots", salvaged_slots_);
+    m->Count("mutps", "dedup_done", dedup_.dup_done());
+    m->Count("mutps", "dedup_inflight", dedup_.dup_inflight());
+  }
   for (unsigned i = 0; i < env_.num_workers; i++) {
     const Worker& w = workers_[i];
     m->Count("mutps", "ops", w.ops, static_cast<int>(i));
@@ -269,6 +292,26 @@ Task<bool> MuTpsServer::CrHandleRecord(unsigned idx, uint64_t rx_seq,
   const uint32_t vlen = rec->value_len();
   const bool is_scan = op == OpType::kScan;
 
+  // At-most-once writes (DESIGN.md §9): a retransmitted or NIC-duplicated PUT
+  // must not be applied twice. Reads are idempotent and simply re-execute.
+  if (UTPS_UNLIKELY(rx_->Msgs(rx_seq)[rec_idx].rid != 0) && op == OpType::kPut) {
+    const DedupWindow::Verdict v = dedup_.Begin(rx_->Msgs(rx_seq)[rec_idx].rid);
+    if (v != DedupWindow::Verdict::kExecute) {
+      if (v == DedupWindow::Verdict::kDone) {
+        // Already applied: replay an empty ack so the retry completes.
+        CrMrHostDesc hd;
+        hd.msg = rx_->Msgs(rx_seq)[rec_idx];
+        hd.rx_seq = rx_seq;
+        SendResponse(w, hd);
+      } else {
+        // First copy still executing; swallow this one — the original's
+        // response answers the rid.
+        rx_->CompleteOne(rx_seq);
+      }
+      co_return true;
+    }
+  }
+
   // --- hot path ---
   Item* hot_item = nullptr;
   if (opt_.enable_cache && !is_scan) {
@@ -372,7 +415,17 @@ Task<bool> MuTpsServer::CrHandleRecord(unsigned idx, uint64_t rx_seq,
   // Round-robin over the MR set at BATCH granularity: fill the current
   // target's batch, then move to the next MR worker (§3.4: a CR thread
   // pushes an item only when enough requests have accumulated).
-  const unsigned target = local_ncr + (w.rr_next % nmr);
+  unsigned target = local_ncr + (w.rr_next % nmr);
+  if (UTPS_UNLIKELY(dead_mask_ != 0)) {
+    // Failover routing: steer new batches away from confirmed-dead MR workers
+    // (§3.5 reassignment reused for fault recovery). With a single injected
+    // crash at least one MR target is always alive.
+    unsigned tries = 0;
+    while (((dead_mask_ >> target) & 1u) != 0 && tries++ < nmr) {
+      w.rr_next++;
+      target = local_ncr + (w.rr_next % nmr);
+    }
+  }
   Worker::Staging& st = w.staging[target];
   if (st.descs.empty()) {
     st.first_ns = ctx.Now();
@@ -413,6 +466,12 @@ Task<void> MuTpsServer::CrServeHot(unsigned idx, Item* item, const RxRecord& rec
 void MuTpsServer::SendResponse(Worker& w, const CrMrHostDesc& hd) {
   StageScope s(w.ctx, Stage::kRespond);
   w.ctx.Charge(env_.respond_cpu_ns);
+  if (UTPS_UNLIKELY(hd.msg.rid != 0) &&
+      static_cast<OpType>(hd.msg.h[1] >> 28) == OpType::kPut) {
+    // The PUT is applied and its ack is leaving: later retransmits of this
+    // rid get a replayed ack instead of a second execution.
+    dedup_.Complete(hd.msg.rid);
+  }
   // Note: the CR layer never touches the response payload; the RNIC reads it
   // directly from the response buffer (§3.3 "Copying data items").
   env_.nic->ServerSend(w.ctx, hd.msg, hd.resp, hd.resp_len + hd.resp_off);
@@ -554,6 +613,31 @@ Task<void> MuTpsServer::MrRun(unsigned idx) {
   hot_->AckEpoch(idx, hot_epoch_seen);
 
   while (!stop_) {
+    // --- injected crash-stop (DESIGN.md §9) ---
+    if (UTPS_UNLIKELY(env_.fault != nullptr)) {
+      if (env_.fault->IsCrashed(idx) || (w.crash_parked && salvage_busy_)) {
+        // Park at the loop top: every initiated slot has finished, so
+        // pop_cursor == tail on all inbound rings — the invariant the health
+        // probe's ring salvage relies on. Stay parked through an in-flight
+        // salvage pass even after restart, or both could pop the same slot.
+        w.crash_parked = true;
+        co_await ctx.Delay(sim::kUsec);
+        continue;
+      }
+      if (UTPS_UNLIKELY(w.crash_parked)) {
+        // Restart: the probe may have drained rings and resynced our cursors
+        // while we were parked; rebuild the readiness mask from scratch.
+        w.crash_parked = false;
+        mr_ready_[idx] = 0;
+        for (unsigned p = 0; p < env_.num_workers; p++) {
+          w.pop_cursor[p] = std::max(w.pop_cursor[p], RingAt(p, idx).tail());
+          if (w.pop_cursor[p] < RingAt(p, idx).head()) {
+            mr_ready_[idx] |= 1u << p;
+          }
+        }
+      }
+      w.heartbeat++;
+    }
     // --- configuration adoption ---
     if (cfg_.version != w.adopted_version) {
       if (idx < cfg_.ncr) {
@@ -607,7 +691,7 @@ Task<void> MuTpsServer::MrRun(unsigned idx) {
         if (w.pop_cursor[p] >= r.head()) {
           mr_ready_[idx] &= ~(1u << p);
         }
-        co_await MrProcessSlot(idx, p, seq);
+        co_await MrProcessSlot(ctx, p, idx, seq);
       }
     }
     if (!found) {
@@ -617,12 +701,11 @@ Task<void> MuTpsServer::MrRun(unsigned idx) {
   }
 }
 
-Task<void> MuTpsServer::MrProcessSlot(unsigned idx, unsigned producer,
-                                      uint64_t seq) {
-  Worker& w = workers_[idx];
-  ExecCtx& ctx = w.ctx;
-  obs::SpanScope span(trc_, ctx, "mr", "mr_batch", obs::Tracer::kServerPid, idx);
-  CrMrRing& r = RingAt(producer, idx);
+Task<void> MuTpsServer::MrProcessSlot(ExecCtx& ctx, unsigned producer,
+                                      unsigned consumer, uint64_t seq) {
+  obs::SpanScope span(trc_, ctx, "mr", "mr_batch", obs::Tracer::kServerPid,
+                      consumer);
+  CrMrRing& r = RingAt(producer, consumer);
   CrMrRing::Slot* slot = r.SlotAt(seq);
   CrMrHostDesc* host = r.HostAt(seq);
   unsigned cnt;
@@ -637,7 +720,7 @@ Task<void> MuTpsServer::MrProcessSlot(unsigned idx, unsigned producer,
   // interleave at memory stalls.
   Task<void> tasks[CrMrRing::kMaxBatch];
   for (unsigned i = 0; i < cnt; i++) {
-    tasks[i] = MrProcessOne(idx, slot->descs[i], &host[i]);
+    tasks[i] = MrProcessOne(ctx, slot->descs[i], &host[i]);
   }
   co_await sim::RunBatch(ctx, tasks, cnt);
   // Completion signal: advance the tail pointer only now that all responses
@@ -651,9 +734,8 @@ Task<void> MuTpsServer::MrProcessSlot(unsigned idx, unsigned producer,
   }
 }
 
-Task<void> MuTpsServer::MrProcessOne(unsigned idx, CrMrDesc d, CrMrHostDesc* hd) {
-  Worker& w = workers_[idx];
-  ExecCtx& ctx = w.ctx;
+Task<void> MuTpsServer::MrProcessOne(ExecCtx& ctx, CrMrDesc d,
+                                     CrMrHostDesc* hd) {
   const OpType op = static_cast<OpType>(d.op_len >> 28);
   const uint32_t vlen = d.op_len & 0x0fffffffu;
   if (op == OpType::kGet) {
@@ -665,6 +747,78 @@ Task<void> MuTpsServer::MrProcessOne(unsigned idx, CrMrDesc d, CrMrHostDesc* hd)
         ctx, env_, d.key, hd->scan_upper, hd->scan_count, hd->resp + hd->resp_off,
         hd->resp_cap - hd->resp_off, hd->skip_keys, hd->num_skip);
   }
+}
+
+// =========================================================================
+// Health probe + failover (DESIGN.md §9): a manager-side probe detects a
+// crash-stopped MR worker (park flag set, heartbeat frozen), steers CR
+// routing away from it via dead_mask_, and drains its inbound rings by
+// substituting for it in MrProcessSlot — §3.5's reassignment machinery
+// reused for fault recovery. Salvaged responses flow through each producer's
+// normal completion poll, so outstanding/seen_tail accounting is untouched.
+// =========================================================================
+
+Fiber MuTpsServer::HealthProbeMain() {
+  ExecCtx& ctx = probe_ctx_;
+  const Tick period = 10 * sim::kUsec;
+  while (!stop_) {
+    co_await ctx.Delay(period);
+    if (stop_) {
+      break;
+    }
+    for (unsigned i = 0; i < env_.num_workers && !stop_; i++) {
+      Worker& w = workers_[i];
+      const bool beat = w.heartbeat != hb_seen_[i];
+      hb_seen_[i] = w.heartbeat;
+      const bool dead = ((dead_mask_ >> i) & 1u) != 0;
+      if (!w.is_cr && w.crash_parked && !beat && env_.fault->IsCrashed(i)) {
+        if (!dead) {
+          dead_mask_ |= 1u << i;
+          failover_count_++;
+          if (trc_ != nullptr) {
+            trc_->Instant("mgr", "mr_failover", obs::Tracer::kServerPid,
+                          mgr_tid_, ctx.Now());
+          }
+        }
+        // Re-drain on every pass while the worker stays dead: staged batches
+        // flushed before the CR workers observed dead_mask_ still land here.
+        co_await SalvageWorker(i);
+      } else if (dead && !env_.fault->IsCrashed(i)) {
+        dead_mask_ &= ~(1u << i);
+        restore_count_++;
+        if (trc_ != nullptr) {
+          trc_->Instant("mgr", "mr_restore", obs::Tracer::kServerPid, mgr_tid_,
+                        ctx.Now());
+        }
+      }
+    }
+  }
+}
+
+Task<void> MuTpsServer::SalvageWorker(unsigned dead) {
+  ExecCtx& ctx = probe_ctx_;
+  salvage_busy_ = true;
+  obs::SpanScope span(trc_, ctx, "mgr", "mr_salvage", obs::Tracer::kServerPid,
+                      mgr_tid_);
+  for (unsigned p = 0; p < env_.num_workers; p++) {
+    CrMrRing& r = RingAt(p, dead);
+    while (r.tail() < r.head() && !stop_) {
+      // Crash-stop parks at the MR loop top, where pop_cursor == tail on
+      // every inbound ring: the stranded work is exactly [tail, head).
+      co_await MrProcessSlot(ctx, p, dead, r.tail());
+      salvaged_slots_++;
+    }
+    workers_[dead].pop_cursor[p] = r.tail();
+  }
+  // Rebuild the dead worker's readiness mask from its resynced cursors with
+  // no suspension below: a stale set bit would wedge its restart sweep.
+  mr_ready_[dead] = 0;
+  for (unsigned p = 0; p < env_.num_workers; p++) {
+    if (workers_[dead].pop_cursor[p] < RingAt(p, dead).head()) {
+      mr_ready_[dead] |= 1u << p;
+    }
+  }
+  salvage_busy_ = false;
 }
 
 // =========================================================================

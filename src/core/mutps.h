@@ -85,6 +85,12 @@ class MuTpsServer final : public KvServer {
   uint64_t hot_misses() const;
   // High-water occupancy (slots) seen on any CR-MR ring since ResetStats.
   uint64_t peak_ring_occ() const { return peak_ring_occ_; }
+  // Fault-tolerance introspection (zero without an installed injector).
+  uint64_t failover_count() const { return failover_count_; }
+  uint64_t salvaged_slots() const { return salvaged_slots_; }
+  uint64_t dedup_suppressed() const {
+    return dedup_.dup_done() + dedup_.dup_inflight();
+  }
   void ExportMetrics(obs::MetricsRegistry* m) const override;
   // True once the auto-tuner has completed its first search (always true when
   // auto-tuning is disabled) — the harness gates measurement on this.
@@ -133,6 +139,12 @@ class MuTpsServer final : public KvServer {
     unsigned rr_next = 0;               // CR: round-robin MR target cursor
     uint64_t outstanding = 0;           // CR: forwarded, not yet completed
     unsigned local_ncr = 1;             // split under the adopted config
+    // Fault tolerance: liveness counter bumped each MR loop iteration, and
+    // the crash-stop park flag (set when the worker observes its injected
+    // crash at the loop top — the point where pop_cursor == tail on every
+    // inbound ring, which is the invariant ring salvage relies on).
+    uint64_t heartbeat = 0;
+    bool crash_parked = false;
     // CR: host-side summary of which target rings have batches in flight —
     // bit t set iff seen_tail[t] < RingAt(idx, t).head(). Pure bookkeeping
     // (no modeled state): lets CrPollCompletions visit exactly the rings the
@@ -156,9 +168,16 @@ class MuTpsServer final : public KvServer {
   sim::Task<void> CrDrainOutstanding(unsigned idx);
   void SendResponse(Worker& w, const CrMrHostDesc& hd);
 
-  // MR helpers.
-  sim::Task<void> MrProcessSlot(unsigned idx, unsigned producer, uint64_t seq);
-  sim::Task<void> MrProcessOne(unsigned idx, CrMrDesc d, CrMrHostDesc* hd);
+  // MR helpers. The slot processors take the execution context explicitly so
+  // the manager-side health probe can substitute for a dead consumer (ring
+  // salvage) with its own context.
+  sim::Task<void> MrProcessSlot(sim::ExecCtx& ctx, unsigned producer,
+                                unsigned consumer, uint64_t seq);
+  sim::Task<void> MrProcessOne(sim::ExecCtx& ctx, CrMrDesc d, CrMrHostDesc* hd);
+
+  // Fault tolerance (§3.5 reassignment reused for failover; DESIGN.md §9).
+  sim::Fiber HealthProbeMain();
+  sim::Task<void> SalvageWorker(unsigned dead);
 
   // Manager / auto-tuner.
   sim::Task<void> RefreshHotSet(uint32_t k);
@@ -195,6 +214,18 @@ class MuTpsServer final : public KvServer {
   std::vector<std::unique_ptr<RespBuffer>> resp_bufs_;
   std::unique_ptr<HotSetManager> hot_;
   sim::ExecCtx mgr_ctx_;
+
+  // Fault tolerance (inert without env_.fault). dead_mask_ bit i: worker i is
+  // a confirmed-dead MR worker — CR routing skips it and the health probe
+  // drains its rings until it restarts.
+  DedupWindow dedup_;
+  sim::ExecCtx probe_ctx_;
+  std::vector<uint64_t> hb_seen_;   // heartbeat snapshot per worker (probe)
+  uint32_t dead_mask_ = 0;
+  bool salvage_busy_ = false;       // a salvage pass is mid-flight
+  uint64_t failover_count_ = 0;
+  uint64_t restore_count_ = 0;
+  uint64_t salvaged_slots_ = 0;
 
   // Observability (null/empty when disabled; see ServerEnv::obs).
   obs::Tracer* trc_ = nullptr;

@@ -6,6 +6,7 @@
 
 #include <cstdint>
 
+#include "fault/fault.h"
 #include "index/index.h"
 #include "obs/obs.h"
 #include "sim/arena.h"
@@ -29,6 +30,11 @@ struct ServerEnv {
   // Observability bundle (null = everything disabled). Servers wire worker
   // contexts to its cycle-accounting arrays and emit tracer spans through it.
   obs::Observer* obs = nullptr;
+
+  // Fault injector (null = no faults, byte-identical to a faultless build).
+  // Servers consult IsCrashed() in worker loops, wire worker contexts to
+  // SlowPtr(), and — for μTPS — run the manager health probe when set.
+  fault::FaultInjector* fault = nullptr;
 
   // Fixed per-request CPU costs (ns), identical across server systems.
   sim::Tick parse_cpu_ns = 30;

@@ -1,0 +1,311 @@
+// Deterministic fault injection (DESIGN.md §9).
+//
+// A FaultConfig describes a *plan*: probabilistic message-level faults on the
+// two-sided NIC path (drop / duplicate / delay spike / link-rate
+// degradation), a per-core straggler window (frequency-scaled CPU), a worker
+// crash-stop with optional restart, and an LLC "noisy neighbor" that occupies
+// CLOS ways mid-run. The FaultInjector turns the plan into simulator state:
+// timed transitions run on a plan fiber scheduled on sim::Engine, and
+// per-message decisions are drawn from a seeded RNG in message order — so the
+// same seed and plan always reproduce the same fault schedule, byte for byte,
+// and every failure scenario found by the DST sweep is replayable.
+//
+// Everything is inert until Install() is called: a run without an injector is
+// byte-identical to a build without this header (null hooks throughout).
+//
+// Header-only on purpose: the mutation smoke-check binary compiles its own
+// copies of server translation units without linking libutps.
+#ifndef UTPS_FAULT_FAULT_H_
+#define UTPS_FAULT_FAULT_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "common/macros.h"
+#include "common/rng.h"
+#include "obs/trace.h"
+#include "sim/cache.h"
+#include "sim/engine.h"
+#include "sim/exec.h"
+#include "sim/nic.h"
+#include "sim/task.h"
+
+namespace utps::fault {
+
+struct FaultConfig {
+  // Message-level faults on the two-sided path, per direction, while the
+  // fault window is active. One-sided verbs model reliable RDMA transport
+  // and only see link-rate degradation.
+  double drop_prob = 0.0;
+  double dup_prob = 0.0;
+  double delay_prob = 0.0;
+  sim::Tick delay_ns = 20 * sim::kUsec;  // max delay spike (uniform 1..N)
+  double link_scale = 1.0;               // >1: serialization cost multiplier
+
+  // Per-core straggler: core runs at 1/slow_factor frequency inside the
+  // fault window.
+  int straggler_core = -1;
+  double slow_factor = 4.0;
+
+  // Worker crash-stop/restart (server worker index).
+  int crash_worker = -1;
+  sim::Tick crash_at_ns = 100 * sim::kUsec;
+  sim::Tick restart_after_ns = 0;  // 0: never restarts
+
+  // LLC noisy neighbor: ways occupied inside the fault window.
+  unsigned llc_steal_ways = 0;
+
+  // Active window for message faults, straggler, and LLC steal:
+  // [start_ns, stop_ns), stop_ns == 0 meaning "until the end of the run".
+  sim::Tick start_ns = 0;
+  sim::Tick stop_ns = 0;
+
+  uint64_t seed = 1;
+
+  bool enabled() const {
+    return drop_prob > 0.0 || dup_prob > 0.0 || delay_prob > 0.0 ||
+           link_scale != 1.0 || straggler_core >= 0 || crash_worker >= 0 ||
+           llc_steal_ways > 0;
+  }
+};
+
+// Parses an MUTPS_FAULTS-style profile string: comma-separated key:value
+// tokens. Example: "loss:0.01,dup:0.02,delayus:50,crash:7,restartus:200".
+//
+//   loss:P dup:P delay:P     fault probabilities per message per direction
+//   delayus:N                max delay spike, µs (also the dup reorder span;
+//                            delay:P defaults to 0 — set it to use spikes)
+//   link:F                   link serialization cost multiplier (e.g. 4)
+//   straggler:CORE slow:F    frequency-scale CORE by 1/F (default F = 4)
+//   crash:W crashus:T restartus:D   crash worker W at T µs, restart D µs later
+//   llc:N                    noisy neighbor occupies N LLC ways
+//   startus:T stopus:T       fault window bounds, µs
+//   seed:S                   fault-plan RNG seed
+inline FaultConfig ParseFaultProfile(const std::string& profile) {
+  FaultConfig cfg;
+  size_t pos = 0;
+  while (pos < profile.size()) {
+    size_t end = profile.find(',', pos);
+    if (end == std::string::npos) {
+      end = profile.size();
+    }
+    const std::string tok = profile.substr(pos, end - pos);
+    pos = end + 1;
+    const size_t colon = tok.find(':');
+    if (colon == std::string::npos || colon == 0) {
+      continue;
+    }
+    const std::string key = tok.substr(0, colon);
+    const char* val = tok.c_str() + colon + 1;
+    if (key == "loss") {
+      cfg.drop_prob = std::strtod(val, nullptr);
+    } else if (key == "dup") {
+      cfg.dup_prob = std::strtod(val, nullptr);
+    } else if (key == "delay") {
+      cfg.delay_prob = std::strtod(val, nullptr);
+    } else if (key == "delayus") {
+      cfg.delay_ns = static_cast<sim::Tick>(std::strtoull(val, nullptr, 10)) *
+                     sim::kUsec;
+    } else if (key == "link") {
+      cfg.link_scale = std::strtod(val, nullptr);
+    } else if (key == "straggler") {
+      cfg.straggler_core = static_cast<int>(std::strtol(val, nullptr, 10));
+    } else if (key == "slow") {
+      cfg.slow_factor = std::strtod(val, nullptr);
+    } else if (key == "crash") {
+      cfg.crash_worker = static_cast<int>(std::strtol(val, nullptr, 10));
+    } else if (key == "crashus") {
+      cfg.crash_at_ns = static_cast<sim::Tick>(std::strtoull(val, nullptr, 10)) *
+                        sim::kUsec;
+    } else if (key == "restartus") {
+      cfg.restart_after_ns =
+          static_cast<sim::Tick>(std::strtoull(val, nullptr, 10)) * sim::kUsec;
+    } else if (key == "llc") {
+      cfg.llc_steal_ways =
+          static_cast<unsigned>(std::strtoul(val, nullptr, 10));
+    } else if (key == "startus") {
+      cfg.start_ns = static_cast<sim::Tick>(std::strtoull(val, nullptr, 10)) *
+                     sim::kUsec;
+    } else if (key == "stopus") {
+      cfg.stop_ns = static_cast<sim::Tick>(std::strtoull(val, nullptr, 10)) *
+                    sim::kUsec;
+    } else if (key == "seed") {
+      cfg.seed = std::strtoull(val, nullptr, 10);
+    }
+  }
+  return cfg;
+}
+
+// Profile from the MUTPS_FAULTS environment variable (empty: disabled).
+inline FaultConfig FaultFromEnv() {
+  return ParseFaultProfile(EnvStr("MUTPS_FAULTS", ""));
+}
+
+struct FaultCounters {
+  uint64_t req_drops = 0;
+  uint64_t resp_drops = 0;
+  uint64_t req_dups = 0;
+  uint64_t resp_dups = 0;
+  uint64_t delays = 0;
+  uint64_t crashes = 0;
+  uint64_t restarts = 0;
+};
+
+class FaultInjector final : public sim::NicFaultHook {
+ public:
+  explicit FaultInjector(const FaultConfig& cfg)
+      : cfg_(cfg), rng_(Mix64(cfg.seed ^ 0x4641554c54ULL)) {
+    slow_q8_.assign(kMaxCores, 256u);  // Q8: 256 = 1x
+  }
+
+  // Arms the injector on a simulation: NIC hook, plan fiber for timed
+  // transitions (straggler window, LLC steal window, crash/restart).
+  // `mem` and `trc` may be null.
+  void Install(sim::Engine* eng, sim::Nic* nic, sim::MemoryModel* mem,
+               obs::Tracer* trc) {
+    eng_ = eng;
+    mem_ = mem;
+    trc_ = trc;
+    plan_ctx_.eng = eng;
+    nic->SetFaultHook(this);
+    if (cfg_.straggler_core >= 0 || cfg_.llc_steal_ways > 0 ||
+        cfg_.crash_worker >= 0) {
+      eng->Spawn(PlanMain());
+    }
+  }
+
+  // ------------------------------------------------------- NicFaultHook
+  sim::NicFault OnRequest(sim::Tick now) override {
+    return Decide(now, /*request=*/true);
+  }
+  sim::NicFault OnResponse(sim::Tick now) override {
+    return Decide(now, /*request=*/false);
+  }
+  double LinkCostScale(sim::Tick now) override {
+    return Active(now) ? cfg_.link_scale : 1.0;
+  }
+
+  // --------------------------------------------------------- server hooks
+  bool IsCrashed(unsigned worker) const {
+    return (crashed_mask_ >> worker) & 1u;
+  }
+
+  // Pointer for ExecCtx::slow_q8 — live value changes as the plan fiber
+  // opens/closes the straggler window.
+  const uint32_t* SlowPtr(unsigned core) const {
+    return &slow_q8_[core < kMaxCores ? core : kMaxCores - 1];
+  }
+
+  const FaultConfig& config() const { return cfg_; }
+  const FaultCounters& counters() const { return ctr_; }
+
+ private:
+  static constexpr unsigned kMaxCores = 512;
+
+  bool Active(sim::Tick now) const {
+    return now >= cfg_.start_ns && (cfg_.stop_ns == 0 || now < cfg_.stop_ns);
+  }
+
+  // One decision per message, in send order: a fixed number of RNG draws for
+  // the probability gates keeps the schedule a pure function of message
+  // order, independent of which gates fire.
+  sim::NicFault Decide(sim::Tick now, bool request) {
+    sim::NicFault f;
+    if (!Active(now)) {
+      return f;
+    }
+    const double d_drop = rng_.NextDouble();
+    const double d_dup = rng_.NextDouble();
+    const double d_delay = rng_.NextDouble();
+    f.drop = d_drop < cfg_.drop_prob;
+    f.dup = d_dup < cfg_.dup_prob;
+    if (d_delay < cfg_.delay_prob) {
+      f.extra_delay = 1 + rng_.NextBounded(cfg_.delay_ns);
+      ctr_.delays++;
+    }
+    if (f.drop) {
+      (request ? ctr_.req_drops : ctr_.resp_drops)++;
+    }
+    if (f.dup) {
+      // The duplicate trails the original by a bounded span — enough to land
+      // behind later sends (reordering) and, for requests, typically after
+      // the first copy's execution reached the dedup window.
+      const sim::Tick span = cfg_.delay_ns > 2000 ? cfg_.delay_ns : 2000;
+      f.dup_delay = 1 + rng_.NextBounded(span);
+      (request ? ctr_.req_dups : ctr_.resp_dups)++;
+    }
+    return f;
+  }
+
+  void TraceInstant(const char* name, sim::Tick at) {
+    if (trc_ != nullptr) {
+      trc_->Instant("fault", name, obs::Tracer::kServerPid, /*tid=*/999, at);
+    }
+  }
+
+  sim::Fiber PlanMain() {
+    auto& ctx = plan_ctx_;
+    // Window open.
+    if (cfg_.start_ns > ctx.Now()) {
+      co_await ctx.Delay(cfg_.start_ns - ctx.Now());
+    }
+    if (cfg_.straggler_core >= 0) {
+      const auto q8 = static_cast<uint32_t>(cfg_.slow_factor * 256.0);
+      slow_q8_[static_cast<unsigned>(cfg_.straggler_core) %
+               kMaxCores] = q8 < 256 ? 256 : q8;
+      TraceInstant("straggler_on", ctx.Now());
+    }
+    if (cfg_.llc_steal_ways > 0 && mem_ != nullptr) {
+      mem_->SetStolenWays(cfg_.llc_steal_ways);
+      TraceInstant("llc_steal_on", ctx.Now());
+    }
+    // Crash (and optional restart) are ordered against the window bounds by
+    // plain virtual-time arithmetic; the plan fiber visits each transition in
+    // time order.
+    if (cfg_.crash_worker >= 0) {
+      if (cfg_.crash_at_ns > ctx.Now()) {
+        co_await ctx.Delay(cfg_.crash_at_ns - ctx.Now());
+      }
+      crashed_mask_ |= uint64_t{1} << (cfg_.crash_worker & 63);
+      ctr_.crashes++;
+      TraceInstant("worker_crash", ctx.Now());
+      if (cfg_.restart_after_ns > 0) {
+        co_await ctx.Delay(cfg_.restart_after_ns);
+        crashed_mask_ &= ~(uint64_t{1} << (cfg_.crash_worker & 63));
+        ctr_.restarts++;
+        TraceInstant("worker_restart", ctx.Now());
+      }
+    }
+    // Window close.
+    if (cfg_.stop_ns > 0) {
+      if (cfg_.stop_ns > ctx.Now()) {
+        co_await ctx.Delay(cfg_.stop_ns - ctx.Now());
+      }
+      if (cfg_.straggler_core >= 0) {
+        slow_q8_[static_cast<unsigned>(cfg_.straggler_core) % kMaxCores] = 256;
+        TraceInstant("straggler_off", ctx.Now());
+      }
+      if (cfg_.llc_steal_ways > 0 && mem_ != nullptr) {
+        mem_->SetStolenWays(0);
+        TraceInstant("llc_steal_off", ctx.Now());
+      }
+    }
+  }
+
+  FaultConfig cfg_;
+  Rng rng_;
+  sim::Engine* eng_ = nullptr;
+  sim::MemoryModel* mem_ = nullptr;
+  obs::Tracer* trc_ = nullptr;
+  sim::ExecCtx plan_ctx_{};
+  std::vector<uint32_t> slow_q8_;
+  uint64_t crashed_mask_ = 0;
+  FaultCounters ctr_;
+};
+
+}  // namespace utps::fault
+
+#endif  // UTPS_FAULT_FAULT_H_

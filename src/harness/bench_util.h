@@ -11,6 +11,8 @@
 //   MUTPS_CYCLES       if non-zero, print a per-op cycle-accounting breakdown
 //                      under each result row
 //   MUTPS_METRICS      if non-zero, dump the metrics registry after each row
+//   MUTPS_FAULTS       fault profile, e.g. "loss:0.01,dup:0.02" — see
+//                      fault/fault.h for the full token list
 #ifndef UTPS_HARNESS_BENCH_UTIL_H_
 #define UTPS_HARNESS_BENCH_UTIL_H_
 
@@ -59,6 +61,8 @@ inline ExperimentConfig StdConfig(SystemKind system, const WorkloadSpec& spec) {
   cfg.mutps.cache_sizes = {0, 4000, 8000};
   cfg.mutps.tune_window_ns = 150 * sim::kUsec;
   cfg.mutps.refresh_period_ns = 2 * sim::kMsec;
+  // Fault profile from MUTPS_FAULTS (empty: disabled; see fault/fault.h).
+  cfg.fault = fault::FaultFromEnv();
   // Observability knobs (all default-off; see obs/obs.h).
   cfg.obs.trace_path = EnvStr("MUTPS_TRACE", "");
   cfg.obs.trace = !cfg.obs.trace_path.empty();

@@ -20,6 +20,15 @@ using sim::Tick;
 namespace {
 
 // Shared state between the harness and the client fibers of one run.
+// Per-fiber client resources hoisted out of the coroutine frame: under a
+// fault plan, delayed/duplicated messages can outlive the fiber, and the
+// NIC-held NicMessage points at the gate and these buffers.
+struct ClientRes {
+  sim::RpcGate gate;
+  std::vector<uint8_t> scratch;
+  std::vector<uint8_t> out;
+};
+
 struct ClientShared {
   Nic* nic = nullptr;
   KvServer* server = nullptr;    // null for passive systems
@@ -31,14 +40,25 @@ struct ClientShared {
   uint64_t ops = 0;
   Histogram hist;
   TimeSeries* timeline = nullptr;
+  // Fault tolerance: rid-tagged timeout/retry sends (DESIGN.md §9).
+  bool use_retry = false;
+  std::vector<ClientRes>* res = nullptr;
+  uint64_t retries = 0;
+  // fig15: per-bucket latency histograms for the P99 timeline.
+  std::vector<Histogram>* lat_timeline = nullptr;
+  Tick lat_bucket_ns = 0;
 };
 
 Fiber ClientFiber(ExecCtx* ctx, ClientShared* sh, uint64_t id, uint64_t seed) {
   WorkloadGenerator gen(*sh->spec, seed + id * 1000003);
   const WorkloadSpec* cur = sh->spec;
   OneShot done;
-  std::vector<uint8_t> scratch(1536, static_cast<uint8_t>(id + 1));
-  std::vector<uint8_t> out(16384);
+  ClientRes& mine = (*sh->res)[id];
+  sim::RpcGate& gate = mine.gate;
+  uint64_t rid_seq = 1;  // rid stream: this fiber; retransmits reuse the rid
+  const RetryPolicy retry_pol;
+  std::vector<uint8_t>& scratch = mine.scratch;
+  std::vector<uint8_t>& out = mine.out;
   while (!sh->stop) {
     if (cur != sh->spec) {  // dynamic workload switch (Figure 14)
       cur = sh->spec;
@@ -78,10 +98,18 @@ Fiber ClientFiber(ExecCtx* ctx, ClientShared* sh, uint64_t id, uint64_t seed) {
         m.payload = scratch.data();
         m.payload_len = op.value_size;
       }
-      m.completion = &done;
-      sh->nic->ClientSend(*ctx, sh->server->RingForKey(op.key), m);
-      co_await done.Wait(*ctx);
-      done.Reset();
+      if (sh->use_retry) {
+        m.rid = (uint64_t{id + 1} << 32) | static_cast<uint32_t>(rid_seq++);
+        m.gate = &gate;
+        const unsigned attempts = co_await RpcCallWithRetry(
+            *ctx, *sh->nic, sh->server->RingForKey(op.key), m, retry_pol);
+        sh->retries += attempts - 1;
+      } else {
+        m.completion = &done;
+        sh->nic->ClientSend(*ctx, sh->server->RingForKey(op.key), m);
+        co_await done.Wait(*ctx);
+        done.Reset();
+      }
     }
     const Tick lat = ctx->Now() - t0;
     if (sh->measuring) {
@@ -90,6 +118,13 @@ Fiber ClientFiber(ExecCtx* ctx, ClientShared* sh, uint64_t id, uint64_t seed) {
     }
     if (sh->timeline != nullptr) {
       sh->timeline->Add(ctx->Now(), 1);
+    }
+    if (sh->lat_timeline != nullptr) {
+      const size_t b = static_cast<size_t>(ctx->Now() / sh->lat_bucket_ns);
+      if (b >= sh->lat_timeline->size()) {
+        sh->lat_timeline->resize(b + 1);
+      }
+      (*sh->lat_timeline)[b].Record(lat);
     }
   }
 }
@@ -215,6 +250,7 @@ ExperimentResult TestBed::Run(const ExperimentConfig& cfg) {
   sim::Arena run_arena(512ull << 20);
   mem_->FlushAll();
   mem_->ResetCounters();
+  mem_->SetStolenWays(0);  // a prior faulted point must not leak into this one
   ResetItemContention();
   const unsigned rings =
       cfg.system == SystemKind::kErpcKv ? server_workers_ : 1;
@@ -232,10 +268,20 @@ ExperimentResult TestBed::Run(const ExperimentConfig& cfg) {
     }
   }
 
+  // Fault injection (DESIGN.md §9): armed before the server is built so
+  // worker loops see the injector from their first iteration.
+  std::unique_ptr<fault::FaultInjector> inj;
+  if (cfg.fault.enabled()) {
+    inj = std::make_unique<fault::FaultInjector>(cfg.fault);
+    inj->Install(&eng, &nic, mem_.get(),
+                 observer != nullptr ? observer->tracer() : nullptr);
+  }
+
   ServerEnv env;
   env.eng = &eng;
   env.mem = mem_.get();
   env.nic = &nic;
+  env.fault = inj.get();
   env.arena = &run_arena;
   env.slab = slab_.get();
   env.index = index_.get();
@@ -295,7 +341,23 @@ ExperimentResult TestBed::Run(const ExperimentConfig& cfg) {
   sh.supports_scan = index_type_ == IndexType::kTree &&
                      cfg.system != SystemKind::kRaceHash;
   sh.timeline = cfg.record_timeline ? &timeline : nullptr;
+  // Under faults, two-sided clients must retry (a dropped message would
+  // otherwise hang the fiber). One-sided verbs model reliable RDMA.
+  sh.use_retry = inj != nullptr && server != nullptr;
+  std::vector<Histogram> lat_timeline;
+  if (cfg.record_latency_timeline) {
+    sh.lat_timeline = &lat_timeline;
+    sh.lat_bucket_ns = timeline.bucket_ns();
+  }
   const unsigned num_fibers = cfg.client_threads * cfg.pipeline_depth;
+  // Gates and I/O buffers live here, not in the fiber frames: a fault plan
+  // can deliver delayed/duplicated messages after a fiber has exited.
+  std::vector<ClientRes> client_res(num_fibers);
+  for (unsigned i = 0; i < num_fibers; i++) {
+    client_res[i].scratch.assign(1536, static_cast<uint8_t>(i + 1));
+    client_res[i].out.resize(16384);
+  }
+  sh.res = &client_res;
   std::vector<ExecCtx> cli_ctxs(num_fibers);
   for (unsigned i = 0; i < num_fibers; i++) {
     cli_ctxs[i] = ExecCtx{.eng = &eng, .mem = nullptr, .core = 0};
@@ -372,6 +434,23 @@ ExperimentResult TestBed::Run(const ExperimentConfig& cfg) {
   if (mutps != nullptr) {
     res.hot_hits = mutps->hot_hits();
     res.hot_misses = mutps->hot_misses();
+  }
+  res.retries = sh.retries;
+  if (inj != nullptr) {
+    res.fault_counters = inj->counters();
+  }
+  if (mutps != nullptr) {
+    res.failovers = mutps->failover_count();
+    res.salvaged_slots = mutps->salvaged_slots();
+    res.dedup_suppressed = mutps->dedup_suppressed();
+  }
+  if (cfg.record_latency_timeline) {
+    if (res.timeline_bucket_ns == 0) {
+      res.timeline_bucket_ns = timeline.bucket_ns();
+    }
+    for (auto& h : lat_timeline) {
+      res.timeline_p99_ns.push_back(h.Percentile(0.99));
+    }
   }
 
   // Observability outputs — built at t1, before the drain below, so the

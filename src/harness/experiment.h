@@ -20,6 +20,7 @@
 #include "baseline/passive.h"
 #include "core/mutps.h"
 #include "core/server.h"
+#include "fault/fault.h"
 #include "obs/obs.h"
 #include "stats/histogram.h"
 #include "stats/timeseries.h"
@@ -68,6 +69,14 @@ struct ExperimentConfig {
   sim::Tick phase2_extra_ns = 0;          // extra measure time after switch
   // Observability (all off by default; see obs/obs.h and DESIGN.md).
   obs::ObsConfig obs;
+  // Fault injection (DESIGN.md §9). Disabled by default; a run with
+  // fault.enabled() == false is byte-identical to a build without faults.
+  // When enabled, clients of two-sided systems switch to rid-tagged
+  // timeout/retry sends (RpcCallWithRetry) so the run survives drops.
+  fault::FaultConfig fault;
+  // fig15: also record a per-bucket P99 latency timeline (same bucket width
+  // as record_timeline).
+  bool record_latency_timeline = false;
 };
 
 struct ExperimentResult {
@@ -89,6 +98,14 @@ struct ExperimentResult {
   // Optional throughput timeline (bucketed ops completions).
   std::vector<double> timeline_mops;
   sim::Tick timeline_bucket_ns = 0;
+  // Optional per-bucket P99 latency timeline (record_latency_timeline).
+  std::vector<sim::Tick> timeline_p99_ns;
+  // Fault-tolerance outcome (all zero when cfg.fault is disabled).
+  uint64_t retries = 0;           // client retransmits (attempts - 1)
+  uint64_t failovers = 0;         // μTPS MR-worker failover events
+  uint64_t salvaged_slots = 0;    // ring slots drained by the health probe
+  uint64_t dedup_suppressed = 0;  // duplicate writes suppressed server-side
+  fault::FaultCounters fault_counters;
   // Observability outputs (populated only when the matching knob is on).
   obs::CycleReport cycles;       // per-op stage breakdown over the window
   std::string trace_file;        // path the Chrome trace JSON was written to

@@ -19,11 +19,14 @@
 
 #include <cstdint>
 #include <cstring>
+#include <unordered_map>
 #include <vector>
 
+#include "check/mutation.h"
 #include "common/macros.h"
 #include "sim/arena.h"
 #include "sim/nic.h"
+#include "sim/task.h"
 #include "store/kv.h"
 
 namespace utps {
@@ -230,6 +233,111 @@ class RxRing {
   uint64_t fill_seq_ = 0;
   sim::NicMessage stash_{};
   bool has_stash_ = false;
+};
+
+// ------------------------------------------------------------------ retries
+// Client-side timeout/retry with exponential backoff (fault tolerance,
+// DESIGN.md §9). The message must carry a non-zero rid and a gate; the gate
+// is armed here once per *operation* and retransmits reuse the same rid, so
+// the server's DedupWindow can make non-idempotent ops at-most-once and a
+// completion raced in by an earlier attempt stays valid. Retries continue
+// until the response lands — an abandoned operation would leave an open
+// history entry, so giving up is the harness deadline's job, not ours.
+// Returns the number of send attempts (1 = no retransmit).
+struct RetryPolicy {
+  sim::Tick timeout_ns = 30 * sim::kUsec;       // first-attempt timeout
+  sim::Tick max_timeout_ns = 500 * sim::kUsec;  // backoff cap
+  sim::Tick poll_ns = 2 * sim::kUsec;           // completion poll quantum
+};
+
+inline sim::Task<unsigned> RpcCallWithRetry(sim::ExecCtx& ctx, sim::Nic& nic,
+                                            unsigned ring,
+                                            const sim::NicMessage& msg,
+                                            const RetryPolicy& pol) {
+  UTPS_DCHECK(msg.rid != 0);
+  UTPS_DCHECK(msg.gate != nullptr);
+  sim::RpcGate& gate = *msg.gate;
+  gate.Arm(msg.rid);
+  sim::Tick timeout = pol.timeout_ns;
+  unsigned attempts = 0;
+  for (;;) {
+    nic.ClientSend(ctx, ring, msg);
+    attempts++;
+    const sim::Tick deadline = ctx.Now() + timeout;
+    for (;;) {
+      if (gate.ReadyAt(ctx.Now())) {
+        co_return attempts;
+      }
+      const sim::Tick left = deadline > ctx.Now() ? deadline - ctx.Now() : 0;
+      if (left == 0) {
+        break;
+      }
+      co_await ctx.Delay(left < pol.poll_ns ? left : pol.poll_ns);
+    }
+    if (gate.ReadyAt(ctx.Now())) {
+      co_return attempts;
+    }
+    timeout = timeout * 2 < pol.max_timeout_ns ? timeout * 2 : pol.max_timeout_ns;
+  }
+}
+
+// -------------------------------------------------------------------- dedup
+// Server-side at-most-once window (DESIGN.md §9). Request ids are
+// per-client-stream monotone: rid = (stream + 1) << 32 | seq with seq >= 1.
+// Each client stream runs one operation at a time and retransmits reuse the
+// operation's rid, so one {highest started, highest done} pair per stream is
+// a complete dedup record — no per-rid table growth, O(1) per request.
+//
+// Contract: Begin() before applying a non-idempotent op (PUT/DELETE);
+// kExecute means apply it, kInFlight means an earlier delivery of the same
+// rid is still executing (swallow the duplicate — its response will answer
+// the client), kDone means it already executed (replay an empty ack, never
+// re-apply). Complete() when the response for the rid is posted. Idempotent
+// ops (GET/SCAN) bypass the window and simply re-execute.
+class DedupWindow {
+ public:
+  enum class Verdict : uint8_t { kExecute, kInFlight, kDone };
+
+  Verdict Begin(uint64_t rid) {
+    if (mut::DropDedupWindow()) {
+      return Verdict::kExecute;  // seeded bug: duplicates re-apply
+    }
+    const uint32_t stream = static_cast<uint32_t>(rid >> 32);
+    const uint32_t seq = static_cast<uint32_t>(rid);
+    Ent& e = ents_[stream];
+    if (seq <= e.done) {
+      dup_done_++;
+      return Verdict::kDone;
+    }
+    if (seq <= e.started) {
+      dup_inflight_++;
+      return Verdict::kInFlight;
+    }
+    e.started = seq;
+    return Verdict::kExecute;
+  }
+
+  void Complete(uint64_t rid) {
+    const uint32_t stream = static_cast<uint32_t>(rid >> 32);
+    const uint32_t seq = static_cast<uint32_t>(rid);
+    Ent& e = ents_[stream];
+    if (seq > e.done) {
+      e.done = seq;
+    }
+  }
+
+  // Duplicate deliveries suppressed after/before the first apply completed.
+  uint64_t dup_done() const { return dup_done_; }
+  uint64_t dup_inflight() const { return dup_inflight_; }
+
+ private:
+  struct Ent {
+    uint32_t started = 0;
+    uint32_t done = 0;
+  };
+  std::unordered_map<uint32_t, Ent> ents_;
+  uint64_t dup_done_ = 0;
+  uint64_t dup_inflight_ = 0;
 };
 
 }  // namespace utps

@@ -141,6 +141,20 @@ class MemoryModel {
   }
   uint32_t ClosMask(ClosId clos) const { return clos_masks_[clos]; }
 
+  // Noisy-neighbor hook (src/fault): an external tenant occupies `n` LLC
+  // ways, taken from the high way indices (so the DDIO ways stay intact),
+  // shrinking every CLOS's effective allocation mid-run. A class whose mask
+  // would become empty keeps its configured mask — CAT can never leave a
+  // class with zero ways. n == 0 (the default) restores normal behaviour and
+  // is byte-identical to a build without the hook.
+  void SetStolenWays(unsigned n) {
+    if (n >= cfg_.llc_ways) {
+      n = cfg_.llc_ways - 1;
+    }
+    stolen_mask_ = n == 0 ? 0u : ((1u << n) - 1) << (cfg_.llc_ways - n);
+  }
+  unsigned StolenWays() const { return __builtin_popcount(stolen_mask_); }
+
   // --------------------------------------------------------------- CPU side
   // Models one access of `len` bytes at `addr` by `core` under `clos`.
   // Multi-line accesses charge full latency for the first line and a
@@ -491,7 +505,7 @@ class MemoryModel {
     } else {
       lat = cfg_.dram_ns;
       sc.llc_misses++;
-      const unsigned victim = LlcVictim(set, clos_masks_[clos]);
+      const unsigned victim = LlcVictim(set, EffectiveMask(clos));
       LlcInstall(set, victim, line, 1u << core,
                  write ? static_cast<int8_t>(core) : int8_t{-1}, write);
       PrivFill(core, line, /*exclusive=*/write);
@@ -560,7 +574,13 @@ class MemoryModel {
   std::vector<uint8_t> llc_order_;    // [set][i] -> way, MRU first
   std::vector<uint8_t> llc_hint_;     // [set] -> last-hit way
 
+  uint32_t EffectiveMask(ClosId clos) const {
+    const uint32_t m = clos_masks_[clos] & ~stolen_mask_;
+    return m != 0 ? m : clos_masks_[clos];
+  }
+
   uint32_t clos_masks_[kMaxClos] = {};
+  uint32_t stolen_mask_ = 0;  // LLC ways held by a simulated noisy neighbor
   std::vector<CoreCounters> counters_;
   uint64_t io_writes_ = 0;
   uint64_t io_write_misses_ = 0;

@@ -71,13 +71,24 @@ struct ExecCtx {
   // Flat per-line cost for contexts without a cache model (client machines).
   Tick flat_line_ns = 4;
 
+  // Straggler hook (src/fault): when non-null, every charged CPU cost and
+  // memory-stall is scaled by *slow_q8 / 256 (Q8 fixed point, 256 = 1x) —
+  // a frequency-scaled core runs the same work, slower. Delays and yields
+  // are wall-clock waits and stay unscaled. Null (the default) is free.
+  const uint32_t* slow_q8 = nullptr;
+
   static constexpr uint32_t kMaxFastOps = 64;
   static constexpr Tick kMaxPending = 400;
 
   Tick Now() const { return eng->now() + pending; }
 
+  Tick ScaleNs(Tick ns) const {
+    return slow_q8 == nullptr ? ns : (ns * Tick{*slow_q8}) >> 8;
+  }
+
   // Pure CPU work (parsing, arithmetic); never suspends by itself.
   void Charge(Tick ns) {
+    ns = ScaleNs(ns);
     pending += ns;
     if (stage_ns != nullptr) {
       stage_ns[static_cast<unsigned>(stage)] += ns;
@@ -99,7 +110,7 @@ struct ExecCtx {
     // The fill stall (r.latency) can be overlapped by batched execution; the
     // per-miss CPU overhead cannot and is charged serially.
     Charge(mem->config().miss_cpu_ns);
-    return SuspendAwaiter{this, r.latency, false};
+    return SuspendAwaiter{this, ScaleNs(r.latency), false};
   }
 
   SuspendAwaiter Read(const void* p, size_t len) { return Access(p, len, false); }

@@ -16,6 +16,7 @@
 #ifndef UTPS_SIM_NIC_H_
 #define UTPS_SIM_NIC_H_
 
+#include <algorithm>
 #include <cstring>
 #include <deque>
 #include <utility>
@@ -49,6 +50,35 @@ struct NicMessage {
   uint32_t* resp_len_out = nullptr; // client-owned: receives the payload length
   Tick issue_tick = 0;
   Tick arrival_tick = 0;
+  // Fault-tolerant path (src/fault): a non-zero request id plus a multi-shot
+  // gate replace the OneShot completion. Retransmits carry the same rid; the
+  // server dedup window and the gate's Accepts(rid) guard make delivery
+  // at-most-once from the client's point of view. rid == 0 (the default)
+  // keeps the legacy exactly-once OneShot path, byte-identical to a build
+  // without fault support.
+  uint64_t rid = 0;
+  RpcGate* gate = nullptr;
+};
+
+// Per-message fault decision, produced by a NicFaultHook at send time.
+struct NicFault {
+  bool drop = false;       // message lost on the wire
+  bool dup = false;        // a duplicate copy is also delivered
+  Tick extra_delay = 0;    // delay spike added to the delivery time
+  Tick dup_delay = 0;      // additional delay of the duplicate (reordering)
+};
+
+// Boundary hook for deterministic fault injection (implemented by
+// fault::FaultInjector). Decisions are drawn from a seeded RNG in message
+// order, so the same seed and plan reproduce the same fault schedule.
+// Two-sided messages only: one-sided verbs model reliable RDMA transport and
+// see only link-rate degradation.
+class NicFaultHook {
+ public:
+  virtual ~NicFaultHook() = default;
+  virtual NicFault OnRequest(Tick now) = 0;
+  virtual NicFault OnResponse(Tick now) = 0;
+  virtual double LinkCostScale(Tick now) = 0;
 };
 
 // Serializes messages through a link: departure time respects both a
@@ -59,10 +89,15 @@ class LinkSerializer {
       : ns_per_msg_(1000.0 / msg_rate_mops),
         ns_per_byte_(8.0 / bandwidth_gbps) {}
 
-  Tick Depart(Tick now, size_t bytes) {
-    const double cost_d = ns_per_msg_ > ns_per_byte_ * static_cast<double>(bytes)
-                              ? ns_per_msg_
-                              : ns_per_byte_ * static_cast<double>(bytes);
+  // `scale` > 1 models link-rate degradation (fault injection); the default
+  // leaves the cost arithmetic bit-identical to the scale-free form.
+  Tick Depart(Tick now, size_t bytes, double scale = 1.0) {
+    double cost_d = ns_per_msg_ > ns_per_byte_ * static_cast<double>(bytes)
+                        ? ns_per_msg_
+                        : ns_per_byte_ * static_cast<double>(bytes);
+    if (scale != 1.0) {
+      cost_d *= scale;
+    }
     // Accumulate fractional cost so sub-ns message costs are not lost.
     frac_ += cost_d;
     const Tick cost = static_cast<Tick>(frac_);
@@ -96,6 +131,11 @@ class Nic {
 
   const NicConfig& config() const { return cfg_; }
 
+  // Fault-injection hook (src/fault). Null (the default) keeps every path
+  // byte-identical to a build without fault support.
+  void SetFaultHook(NicFaultHook* hook) { hook_ = hook; }
+  NicFaultHook* fault_hook() const { return hook_; }
+
   // ------------------------------------------------------------- two-sided
   // Client posts a request toward server receive ring `ring`.
   void ClientSend(ExecCtx& cli, unsigned ring, NicMessage msg) {
@@ -103,6 +143,10 @@ class Nic {
     cli.Charge(cfg_.client_send_cpu_ns);
     msg.wire_bytes = cfg_.verb_header_bytes + 32 + msg.payload_len;
     msg.issue_tick = cli.Now();
+    if (UTPS_UNLIKELY(hook_ != nullptr)) {
+      ClientSendFaulty(cli, ring, msg);
+      return;
+    }
     const Tick dep = rx_link_.Depart(cli.Now(), msg.wire_bytes);
     msg.arrival_tick = dep + cfg_.rtt_ns / 2;
     rx_messages_++;
@@ -110,6 +154,26 @@ class Nic {
     rings_[ring].push_back(msg);
     if (rings_[ring].size() > peak_ring_depth_) {
       peak_ring_depth_ = rings_[ring].size();  // ingress queueing high-water
+    }
+  }
+
+  // Fault-path send: the wire is used either way (serialization happens), but
+  // delivery can be dropped, delayed, or duplicated. Arrivals are kept sorted
+  // so PopArrived's front-of-queue contract survives reordering.
+  void ClientSendFaulty(ExecCtx& cli, unsigned ring, NicMessage msg) {
+    const NicFault f = hook_->OnRequest(cli.Now());
+    const Tick dep =
+        rx_link_.Depart(cli.Now(), msg.wire_bytes, hook_->LinkCostScale(cli.Now()));
+    rx_messages_++;
+    rx_bytes_ += msg.wire_bytes;
+    const Tick base = dep + cfg_.rtt_ns / 2 + f.extra_delay;
+    if (!f.drop) {
+      msg.arrival_tick = base;
+      InsertArrival(ring, msg);
+    }
+    if (f.dup) {
+      msg.arrival_tick = base + f.dup_delay;
+      InsertArrival(ring, msg);
     }
   }
 
@@ -134,6 +198,10 @@ class Nic {
   void ServerSend(ExecCtx& srv, const NicMessage& req, const void* resp_src,
                   uint32_t resp_payload_len) {
     const size_t bytes = cfg_.verb_header_bytes + 16 + resp_payload_len;
+    if (UTPS_UNLIKELY(hook_ != nullptr)) {
+      ServerSendFaulty(srv, req, resp_src, resp_payload_len, bytes);
+      return;
+    }
     const Tick dep = tx_link_.Depart(srv.Now(), bytes);
     tx_messages_++;
     tx_bytes_ += bytes;
@@ -149,18 +217,65 @@ class Nic {
     }
   }
 
+  void ServerSendFaulty(ExecCtx& srv, const NicMessage& req,
+                        const void* resp_src, uint32_t resp_payload_len,
+                        size_t bytes) {
+    const NicFault f = hook_->OnResponse(srv.Now());
+    const Tick dep =
+        tx_link_.Depart(srv.Now(), bytes, hook_->LinkCostScale(srv.Now()));
+    tx_messages_++;
+    tx_bytes_ += bytes;
+    if (req.gate != nullptr) {
+      // Retry-capable client: a response only lands if the gate still waits
+      // for this rid (a late/duplicate execution's response is discarded
+      // before it can touch a reused client buffer), and only when the fault
+      // plan lets it through.
+      if (f.drop) {
+        return;
+      }
+      if (!req.gate->AcceptsResponse(req.rid)) {
+        return;
+      }
+      if (req.copy_out != nullptr && resp_src != nullptr) {
+        std::memcpy(req.copy_out, resp_src, resp_payload_len);
+      }
+      if (req.resp_len_out != nullptr) {
+        *req.resp_len_out = resp_payload_len;
+      }
+      const_cast<NicMessage&>(req).copy_out_len = resp_payload_len;
+      const Tick at = dep + cfg_.rtt_ns / 2 + f.extra_delay;
+      req.gate->Complete(at < srv.Now() ? srv.Now() : at);
+      return;
+    }
+    // Legacy OneShot client under an active fault plan: dropping the single
+    // completion would hang the client, so only the delay spike applies.
+    // Message-level loss requires the rid/gate retry path.
+    if (req.copy_out != nullptr && resp_src != nullptr) {
+      std::memcpy(req.copy_out, resp_src, resp_payload_len);
+    }
+    if (req.resp_len_out != nullptr) {
+      *req.resp_len_out = resp_payload_len;
+    }
+    if (req.completion != nullptr) {
+      const_cast<NicMessage&>(req).copy_out_len = resp_payload_len;
+      req.completion->Complete(*eng_, dep + cfg_.rtt_ns / 2 + f.extra_delay);
+    }
+  }
+
   // ------------------------------------------------------------- one-sided
   // RDMA READ: remote memory is read (and copied into dst) at the simulated
   // server-side time.
   Task<Tick> ReadVerb(ExecCtx& cli, void* dst, const void* src, size_t len) {
     cli.Charge(cfg_.verb_cpu_ns);
-    const Tick dep = rx_link_.Depart(cli.Now(), cfg_.verb_header_bytes);
+    const Tick dep =
+        rx_link_.Depart(cli.Now(), cfg_.verb_header_bytes, LinkScale(cli.Now()));
     rx_messages_++;
     co_await cli.Delay(dep - cli.Now() + cfg_.rtt_ns / 2);
     // Server-side moment: DMA read.
     const Tick dma = mem_ != nullptr ? mem_->IoRead(src, len) : 20;
     std::memcpy(dst, src, len);
-    const Tick dep2 = tx_link_.Depart(cli.Now() + dma, cfg_.verb_header_bytes + len);
+    const Tick dep2 = tx_link_.Depart(cli.Now() + dma, cfg_.verb_header_bytes + len,
+                                      LinkScale(cli.Now()));
     tx_messages_++;
     tx_bytes_ += cfg_.verb_header_bytes + len;
     co_await cli.Delay(dep2 - cli.Now() + cfg_.rtt_ns / 2);
@@ -170,14 +285,16 @@ class Nic {
   // RDMA WRITE (with completion; models write + remote ack).
   Task<Tick> WriteVerb(ExecCtx& cli, void* dst, const void* src, size_t len) {
     cli.Charge(cfg_.verb_cpu_ns);
-    const Tick dep = rx_link_.Depart(cli.Now(), cfg_.verb_header_bytes + len);
+    const Tick dep = rx_link_.Depart(cli.Now(), cfg_.verb_header_bytes + len,
+                                     LinkScale(cli.Now()));
     rx_messages_++;
     rx_bytes_ += cfg_.verb_header_bytes + len;
     co_await cli.Delay(dep - cli.Now() + cfg_.rtt_ns / 2);
     // Server-side moment: DDIO write.
     const Tick dma = mem_ != nullptr ? mem_->IoWrite(dst, len) : 20;
     std::memcpy(dst, src, len);
-    const Tick dep2 = tx_link_.Depart(cli.Now() + dma, cfg_.verb_header_bytes);
+    const Tick dep2 = tx_link_.Depart(cli.Now() + dma, cfg_.verb_header_bytes,
+                                      LinkScale(cli.Now()));
     tx_messages_++;
     co_await cli.Delay(dep2 - cli.Now() + cfg_.rtt_ns / 2);
     co_return cli.Now();
@@ -188,7 +305,8 @@ class Nic {
   Task<uint64_t> CasVerb(ExecCtx& cli, uint64_t* addr, uint64_t expect,
                          uint64_t desired) {
     cli.Charge(cfg_.verb_cpu_ns);
-    const Tick dep = rx_link_.Depart(cli.Now(), cfg_.verb_header_bytes + 16);
+    const Tick dep = rx_link_.Depart(cli.Now(), cfg_.verb_header_bytes + 16,
+                                     LinkScale(cli.Now()));
     rx_messages_++;
     co_await cli.Delay(dep - cli.Now() + cfg_.rtt_ns / 2);
     const Tick dma = mem_ != nullptr
@@ -198,7 +316,8 @@ class Nic {
     if (old == expect) {
       *addr = desired;
     }
-    const Tick dep2 = tx_link_.Depart(cli.Now() + dma, cfg_.verb_header_bytes + 8);
+    const Tick dep2 = tx_link_.Depart(cli.Now() + dma, cfg_.verb_header_bytes + 8,
+                                      LinkScale(cli.Now()));
     tx_messages_++;
     co_await cli.Delay(dep2 - cli.Now() + cfg_.rtt_ns / 2);
     co_return old;
@@ -215,9 +334,31 @@ class Nic {
   Engine* engine() const { return eng_; }
 
  private:
+  // Sorted insert by arrival tick: fault delays/duplicates can reorder
+  // deliveries relative to send order, but the queue itself stays ordered.
+  void InsertArrival(unsigned ring, const NicMessage& msg) {
+    auto& q = rings_[ring];
+    if (q.empty() || q.back().arrival_tick <= msg.arrival_tick) {
+      q.push_back(msg);
+    } else {
+      auto it = std::upper_bound(
+          q.begin(), q.end(), msg.arrival_tick,
+          [](Tick t, const NicMessage& m) { return t < m.arrival_tick; });
+      q.insert(it, msg);
+    }
+    if (q.size() > peak_ring_depth_) {
+      peak_ring_depth_ = q.size();
+    }
+  }
+
+  double LinkScale(Tick now) const {
+    return hook_ != nullptr ? hook_->LinkCostScale(now) : 1.0;
+  }
+
   Engine* eng_;
   MemoryModel* mem_;
   NicConfig cfg_;
+  NicFaultHook* hook_ = nullptr;
   LinkSerializer rx_link_;
   LinkSerializer tx_link_;
   std::vector<std::deque<NicMessage>> rings_;

@@ -200,6 +200,53 @@ class OneShot {
   Engine* waiter_eng_ = nullptr;
 };
 
+// Multi-shot, request-id-guarded RPC completion for the fault-tolerant
+// client path (src/fault). Unlike OneShot (single-assignment, waiter-based),
+// a gate tolerates lost, duplicated, and stale responses: the server side
+// must check Accepts(rid) before touching client buffers, only the first
+// matching completion latches, and the client polls ReadyAt from a timeout
+// loop instead of blocking on a waiter — a late response simply finds the
+// gate re-armed for a newer request and is discarded at the NIC.
+class RpcGate {
+ public:
+  // Arm for a new request. Retransmits of the same request must NOT re-arm:
+  // a completion raced in by an earlier attempt stays valid (same rid).
+  void Arm(uint64_t rid) {
+    UTPS_DCHECK(rid != 0);
+    rid_ = rid;
+    completed_ = false;
+    ready_at_ = 0;
+  }
+
+  bool Accepts(uint64_t rid) const { return rid != 0 && rid == rid_; }
+
+  // Server-side response guard: deliver only while the gate is still armed
+  // for this rid AND no earlier delivery completed it. Once completed, the
+  // client may already have consumed its receive buffer (or exited), so a
+  // late duplicate execution's response must be discarded wholesale — not
+  // just its completion.
+  bool AcceptsResponse(uint64_t rid) const {
+    return Accepts(rid) && !completed_;
+  }
+
+  // First matching completion wins; duplicates are ignored.
+  void Complete(Tick at) {
+    if (!completed_) {
+      completed_ = true;
+      ready_at_ = at;
+    }
+  }
+
+  bool ReadyAt(Tick now) const { return completed_ && ready_at_ <= now; }
+  Tick ready_at() const { return ready_at_; }
+  uint64_t rid() const { return rid_; }
+
+ private:
+  uint64_t rid_ = 0;
+  bool completed_ = false;
+  Tick ready_at_ = 0;
+};
+
 }  // namespace utps::sim
 
 #endif  // UTPS_SIM_SYNC_H_

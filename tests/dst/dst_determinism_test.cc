@@ -97,12 +97,14 @@ TEST(DstDeterminism, SubprocessIdentical) {
                           ">/dev/null 2>&1";
   const int rc = std::system(cmd.c_str());
   unsetenv("MUTPS_DST_CHILD_OUT");
-  ASSERT_EQ(rc, 0) << "subprocess run failed";
 
+  // Slurp and unlink before asserting so a failure cannot strand the file.
   std::ifstream f(out_path, std::ios::binary);
   std::stringstream got;
   got << f.rdbuf();
   std::remove(out_path);
+
+  ASSERT_EQ(rc, 0) << "subprocess run failed";
   EXPECT_EQ(expected, got.str())
       << "fresh-process run produced different result rows";
 }

@@ -1,0 +1,234 @@
+// DST fault sweep (DESIGN.md §9): every system must stay linearizable under
+// deterministic fault plans — message loss + duplication, a straggler core,
+// and a crash-stop/restart of a server worker — across several seeds. Also
+// locks down that the fault schedule itself is a pure function of the config:
+// an identical run repeats byte-for-byte in-process and in a fresh process.
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dst_harness.h"
+
+namespace utps::dst {
+namespace {
+
+constexpr uint64_t kSeeds[] = {1, 7, 42};
+
+// Profile sweeps honour MUTPS_DST_FAULT_SEEDS=N: N extra seeds on top of the
+// fixed three (run_checks.sh raises it for the fault-sweep stage). The
+// determinism tests below stay on fixed seeds on purpose.
+std::vector<uint64_t> SweepSeeds() {
+  std::vector<uint64_t> seeds(std::begin(kSeeds), std::end(kSeeds));
+  const int extra = static_cast<int>(EnvInt("MUTPS_DST_FAULT_SEEDS", 0));
+  for (int i = 0; i < extra; i++) {
+    seeds.push_back(100 + static_cast<uint64_t>(i));
+  }
+  return seeds;
+}
+
+DstConfig Base(Sys sys, uint64_t seed) {
+  DstConfig cfg;
+  cfg.sys = sys;
+  cfg.mix = kYcsbA;
+  cfg.seed = seed;
+  cfg.jitter_ns = 48;
+  return cfg;
+}
+
+// Profile 1: lossy, duplicating, delay-spiking network.
+fault::FaultConfig LossDup() {
+  fault::FaultConfig f;
+  f.drop_prob = 0.02;
+  f.dup_prob = 0.05;
+  f.delay_prob = 0.10;
+  return f;
+}
+
+// Profile 2: one worker core runs at quarter frequency for a window.
+fault::FaultConfig Straggler() {
+  fault::FaultConfig f;
+  f.straggler_core = 1;
+  f.slow_factor = 4.0;
+  f.start_ns = 20 * sim::kUsec;
+  f.stop_ns = 400 * sim::kUsec;
+  return f;
+}
+
+// Profile 3: crash-stop worker 3 mid-run, restart it later. Under the DST
+// μTPS split (workers=4, ncr=2) worker 3 is an MR worker, so this exercises
+// the manager's health probe + ring salvage; BaseKV/eRPCKV just stall the
+// affected requests until restart.
+fault::FaultConfig CrashRestart() {
+  fault::FaultConfig f;
+  f.crash_worker = 3;
+  f.crash_at_ns = 60 * sim::kUsec;
+  f.restart_after_ns = 150 * sim::kUsec;
+  return f;
+}
+
+void SweepProfile(const fault::FaultConfig& f, const char* name) {
+  for (Sys sys : kAllSystems) {
+    for (uint64_t seed : SweepSeeds()) {
+      DstConfig cfg = Base(sys, seed);
+      cfg.fault = f;
+      const DstResult r = RunDst(cfg);
+      EXPECT_TRUE(r.ok) << name << " " << SysName(sys) << " seed=" << seed
+                        << ": " << r.error;
+      EXPECT_EQ(r.ops_stuck, 0u) << name << " " << SysName(sys);
+    }
+  }
+}
+
+TEST(DstFaults, LossDupLinearizable) { SweepProfile(LossDup(), "loss+dup"); }
+
+TEST(DstFaults, StragglerLinearizable) {
+  SweepProfile(Straggler(), "straggler");
+}
+
+TEST(DstFaults, CrashRestartLinearizable) {
+  SweepProfile(CrashRestart(), "crash-restart");
+}
+
+// Loss actually fires and the retry layer absorbs it (a vacuous sweep would
+// also "pass"): at least one seed must see client retransmits.
+TEST(DstFaults, LossProducesRetries) {
+  uint64_t retries = 0;
+  for (uint64_t seed : kSeeds) {
+    DstConfig cfg = Base(Sys::kBaseKv, seed);
+    cfg.fault = LossDup();
+    retries += RunDst(cfg).retries;
+  }
+  EXPECT_GT(retries, 0u);
+}
+
+// μTPS detects the dead MR worker (failover fires) and still passes its
+// quiesce-time structural audits — salvage must leave rings/staging clean.
+TEST(DstFaults, MuTpsMrFailoverRecovers) {
+  for (uint64_t seed : kSeeds) {
+    DstConfig cfg = Base(Sys::kMuTpsH, seed);
+    cfg.fault = CrashRestart();
+    const DstResult r = RunDst(cfg);
+    EXPECT_TRUE(r.ok) << "seed=" << seed << ": " << r.error;
+    EXPECT_GT(r.failovers, 0u) << "seed=" << seed;
+  }
+}
+
+// Crash without restart: the dead MR worker never comes back; CR workers must
+// steer around it and the probe must salvage its rings for the run to finish.
+TEST(DstFaults, MuTpsSurvivesPermanentMrCrash) {
+  for (uint64_t seed : kSeeds) {
+    DstConfig cfg = Base(Sys::kMuTpsT, seed);
+    cfg.fault = CrashRestart();
+    cfg.fault.restart_after_ns = 0;  // never restarts
+    const DstResult r = RunDst(cfg);
+    EXPECT_TRUE(r.ok) << "seed=" << seed << ": " << r.error;
+    EXPECT_GT(r.failovers, 0u) << "seed=" << seed;
+  }
+}
+
+// ---------------------------------------------------- schedule determinism
+
+// One config exercising every fault class at once.
+DstConfig KitchenSink(Sys sys) {
+  DstConfig cfg = Base(sys, 12345);
+  cfg.fault.drop_prob = 0.02;
+  cfg.fault.dup_prob = 0.05;
+  cfg.fault.delay_prob = 0.10;
+  cfg.fault.straggler_core = 1;
+  cfg.fault.slow_factor = 4.0;
+  cfg.fault.crash_worker = 3;
+  cfg.fault.crash_at_ns = 60 * sim::kUsec;
+  cfg.fault.restart_after_ns = 150 * sim::kUsec;
+  cfg.fault.llc_steal_ways = 4;
+  cfg.fault.stop_ns = 500 * sim::kUsec;
+  return cfg;
+}
+
+std::string RowFor(Sys sys) {
+  const DstResult r = RunDst(KitchenSink(sys));
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%s digest=%016llx issued=%llu completed=%llu retries=%llu "
+                "failovers=%llu ok=%d",
+                SysName(sys), static_cast<unsigned long long>(r.digest),
+                static_cast<unsigned long long>(r.ops_issued),
+                static_cast<unsigned long long>(r.ops_completed),
+                static_cast<unsigned long long>(r.retries),
+                static_cast<unsigned long long>(r.failovers), r.ok ? 1 : 0);
+  return buf;
+}
+
+std::string AllRows() {
+  std::string rows;
+  for (Sys sys : kAllSystems) {
+    rows += RowFor(sys);
+    rows += '\n';
+  }
+  return rows;
+}
+
+// Child-side emitter: skipped unless the parent test set the output path.
+TEST(DstFaultDeterminism, ChildEmit) {
+  const char* path = std::getenv("MUTPS_DST_FAULT_CHILD_OUT");
+  if (path == nullptr) {
+    GTEST_SKIP() << "subprocess helper (driven by SubprocessIdentical)";
+  }
+  std::ofstream f(path, std::ios::binary);
+  ASSERT_TRUE(f.good());
+  f << AllRows();
+}
+
+TEST(DstFaultDeterminism, InProcessRepeatIdentical) {
+  for (Sys sys : kAllSystems) {
+    EXPECT_EQ(RowFor(sys), RowFor(sys))
+        << SysName(sys) << ": faulted repeat run diverged";
+  }
+}
+
+TEST(DstFaultDeterminism, SeedSweepsFaultSchedule) {
+  DstConfig a = KitchenSink(Sys::kBaseKv);
+  DstConfig b = a;
+  b.seed++;  // injector seed mixes in cfg.seed => different schedule
+  EXPECT_NE(RunDst(a).digest, RunDst(b).digest);
+}
+
+TEST(DstFaultDeterminism, SubprocessIdentical) {
+  const std::string expected = AllRows();
+
+  char exe[4096];
+  const ssize_t n = readlink("/proc/self/exe", exe, sizeof(exe) - 1);
+  ASSERT_GT(n, 0);
+  exe[n] = '\0';
+
+  char out_path[] = "/tmp/dst_fault_determinism_XXXXXX";
+  const int fd = mkstemp(out_path);
+  ASSERT_GE(fd, 0);
+  close(fd);
+
+  setenv("MUTPS_DST_FAULT_CHILD_OUT", out_path, 1);
+  const std::string cmd = std::string(exe) +
+                          " --gtest_filter=DstFaultDeterminism.ChildEmit "
+                          ">/dev/null 2>&1";
+  const int rc = std::system(cmd.c_str());
+  unsetenv("MUTPS_DST_FAULT_CHILD_OUT");
+
+  // Slurp and unlink before asserting so a failure cannot strand the file.
+  std::ifstream f(out_path, std::ios::binary);
+  std::stringstream got;
+  got << f.rdbuf();
+  std::remove(out_path);
+
+  ASSERT_EQ(rc, 0) << "subprocess run failed";
+  EXPECT_EQ(expected, got.str())
+      << "fresh-process faulted run produced different result rows";
+}
+
+}  // namespace
+}  // namespace utps::dst

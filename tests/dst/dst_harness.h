@@ -30,6 +30,7 @@
 #include "common/zipf.h"
 #include "core/mutps.h"
 #include "core/server.h"
+#include "fault/fault.h"
 #include "index/btree.h"
 #include "index/cuckoo.h"
 #include "net/rpc.h"
@@ -92,6 +93,10 @@ struct DstConfig {
   sim::Tick jitter_ns = 32;
   bool inject_split = false;      // μTPS: thread reassignment mid-run
   uint32_t scan_len_avg = 10;
+  // Fault plan (fault/fault.h). The injector seed is mixed with cfg.seed, so
+  // sweeping seeds also sweeps fault schedules. When enabled, clients of
+  // two-sided systems switch to rid-tagged timeout/retry sends.
+  fault::FaultConfig fault;
 };
 
 struct DstResult {
@@ -103,9 +108,24 @@ struct DstResult {
   uint64_t ops_stuck = 0;
   size_t ops_checked = 0;
   uint64_t digest = 0;  // order-sensitive hash of the recorded history
+  // Resilience telemetry (zero when no fault plan is active).
+  uint64_t retries = 0;     // client retransmits across all ops
+  uint64_t failovers = 0;   // μTPS MR-worker failure detections
 };
 
 namespace internal {
+
+// Per-client resources that outlive the client fiber. Under a fault plan,
+// delayed or duplicated messages can still be in flight (and in the NIC's
+// rings) after the fiber exits; the NicMessage they carry points at these
+// buffers and the gate, so they must live for the whole run, not in the
+// coroutine frame.
+struct ClientRes {
+  sim::RpcGate gate;
+  std::vector<uint8_t> payload;
+  std::vector<uint8_t> out;
+  uint32_t resp_len = 0;
+};
 
 struct Shared {
   const DstConfig* cfg = nullptr;
@@ -115,6 +135,9 @@ struct Shared {
   check::History* hist = nullptr;
   bool supports_scan = false;
   bool supports_delete = false;
+  bool use_retry = false;
+  std::vector<ClientRes>* res = nullptr;
+  uint64_t retries = 0;
   uint64_t issued = 0;
   uint64_t completed = 0;
   unsigned active = 0;
@@ -172,9 +195,12 @@ inline sim::Fiber Client(sim::ExecCtx* ctx, Shared* sh, uint16_t id) {
   Rng rng(Mix64(cfg.seed) + uint64_t{id} * 1000003 + 7);
   ScrambledZipfian zipf(cfg.num_keys, cfg.zipf_theta);
   sim::OneShot done;
-  std::vector<uint8_t> payload(cfg.value_size);
-  std::vector<uint8_t> out(16384);
-  uint32_t resp_len = 0;
+  ClientRes& mine = (*sh->res)[id];
+  sim::RpcGate& gate = mine.gate;
+  std::vector<uint8_t>& payload = mine.payload;
+  std::vector<uint8_t>& out = mine.out;
+  uint32_t& resp_len = mine.resp_len;
+  resp_len = 0;
   for (uint32_t i = 0; i < cfg.ops_per_client; i++) {
     if (sh->issued >= cfg.max_ops) {
       break;
@@ -249,10 +275,20 @@ inline sim::Fiber Client(sim::ExecCtx* ctx, Shared* sh, uint16_t id) {
           m.resp_len_out = &resp_len;
           break;
       }
-      m.completion = &done;
-      sh->nic->ClientSend(*ctx, sh->server->RingForKey(key), m);
-      co_await done.Wait(*ctx);
-      done.Reset();
+      if (sh->use_retry) {
+        // rid stream = client id; retransmits reuse the op's rid so the
+        // server's DedupWindow makes the write at-most-once.
+        m.rid = ((uint64_t{id} + 1) << 32) | (i + 1);
+        m.gate = &gate;
+        const unsigned attempts = co_await RpcCallWithRetry(
+            *ctx, *sh->nic, sh->server->RingForKey(key), m, RetryPolicy{});
+        sh->retries += attempts - 1;
+      } else {
+        m.completion = &done;
+        sh->nic->ClientSend(*ctx, sh->server->RingForKey(key), m);
+        co_await done.Wait(*ctx);
+        done.Reset();
+      }
       const sim::Tick resp = ctx->Now();
       switch (kind) {
         case check::OpKind::kGet:
@@ -385,10 +421,21 @@ inline DstResult RunDst(const DstConfig& cfg) {
   // ---- server under test --------------------------------------------------
   const unsigned rings = cfg.sys == Sys::kErpcKv ? cfg.workers : 1;
   sim::Nic nic(&eng, &mem, sim::NicConfig{}, rings);
+  // Fault injection: the plan seed mixes in cfg.seed so a seed sweep is also
+  // a fault-schedule sweep, while the whole run stays a pure function of the
+  // DstConfig (replayable failures).
+  std::unique_ptr<fault::FaultInjector> inj;
+  if (cfg.fault.enabled()) {
+    fault::FaultConfig fc = cfg.fault;
+    fc.seed = Mix64(fc.seed ^ cfg.seed);
+    inj = std::make_unique<fault::FaultInjector>(fc);
+    inj->Install(&eng, &nic, &mem, nullptr);
+  }
   ServerEnv env;
   env.eng = &eng;
   env.mem = &mem;
   env.nic = &nic;
+  env.fault = inj.get();
   env.arena = &arena;
   env.slab = &slab;
   env.index = index.get();
@@ -443,6 +490,15 @@ inline DstResult RunDst(const DstConfig& cfg) {
   sh.hist = &hist;
   sh.supports_scan = tree && cfg.sys != Sys::kErpcKv;
   sh.supports_delete = cfg.sys == Sys::kBaseKv || cfg.sys == Sys::kErpcKv;
+  // Under faults, two-sided clients must retry or a dropped message would
+  // strand the fiber; one-sided verbs model reliable RDMA (no drops).
+  sh.use_retry = inj != nullptr && server != nullptr;
+  std::vector<internal::ClientRes> client_res(cfg.clients);
+  for (auto& r : client_res) {
+    r.payload.resize(cfg.value_size);
+    r.out.resize(16384);
+  }
+  sh.res = &client_res;
   sh.active = cfg.clients;
   std::vector<sim::ExecCtx> ctxs(cfg.clients + 1);
   for (unsigned i = 0; i < cfg.clients; i++) {
@@ -456,8 +512,14 @@ inline DstResult RunDst(const DstConfig& cfg) {
 
   // Run until every client finished its ops, with a virtual-time backstop so
   // a lost completion surfaces as "stuck" instead of hanging the test.
-  const sim::Tick deadline =
+  sim::Tick deadline =
       2 * sim::kMsec + sim::Tick{cfg.ops_per_client} * 40 * sim::kUsec;
+  if (cfg.fault.enabled()) {
+    // Retry backoff, crash-restart stalls, and straggler slowdowns stretch
+    // completion times; give faulted runs generous (still bounded) headroom.
+    deadline = deadline * 8 + cfg.fault.crash_at_ns +
+               cfg.fault.restart_after_ns + cfg.fault.stop_ns;
+  }
   while (sh.active > 0 && eng.now() < deadline) {
     eng.Run(eng.now() + 20 * sim::kUsec);
   }
@@ -500,6 +562,8 @@ inline DstResult RunDst(const DstConfig& cfg) {
 
   out.ops_issued = sh.issued;
   out.ops_completed = sh.completed;
+  out.retries = sh.retries;
+  out.failovers = mutps != nullptr ? mutps->failover_count() : 0;
   out.ops_checked = lin.ops_checked;
   out.inconclusive = lin.inconclusive;
   out.digest = internal::HistoryDigest(hist);

@@ -10,6 +10,11 @@
 //  2. kSkipRingTailPublish — one CR-MR ring tail publish is dropped, so a
 //     batch's completions (and everything behind them on that ring) are
 //     never sent. Caught as stuck ops plus a failed quiesce audit.
+//  3. kDropDedupWindow — the server's at-most-once window always answers
+//     kExecute, so a duplicated PUT re-applies. Under a dup+delay fault plan
+//     the second apply can straddle another writer's PUT to the same key and
+//     a later read returns the resurrected value — caught by the checker as
+//     a stale-read linearizability violation.
 //
 // Each mutation must be detected within the CI seed budget; the clean control
 // configuration must pass.
@@ -49,6 +54,26 @@ DstConfig RingConfig(uint64_t seed) {
   return cfg;
 }
 
+// Few hot keys + put-heavy mix + aggressive duplication with delay spread:
+// a duplicate PUT's re-apply lands tens of µs after the original, giving
+// another writer time to overwrite the key in between and a reader time to
+// observe the resurrected value afterwards.
+DstConfig DedupConfig(uint64_t seed) {
+  DstConfig cfg;
+  cfg.sys = Sys::kBaseKv;
+  cfg.mix = kPutSkew;
+  cfg.seed = seed;
+  cfg.num_keys = 4;
+  cfg.value_size = 32;
+  cfg.clients = 8;
+  cfg.ops_per_client = 48;
+  cfg.jitter_ns = 48;
+  cfg.fault.dup_prob = 0.3;
+  cfg.fault.delay_prob = 0.2;
+  cfg.fault.delay_ns = 30 * sim::kUsec;
+  return cfg;
+}
+
 constexpr uint64_t kSeedBudget = 12;
 
 TEST(DstMutation, ControlRunsPass) {
@@ -57,6 +82,9 @@ TEST(DstMutation, ControlRunsPass) {
   EXPECT_TRUE(a.ok) << a.error;
   const DstResult b = RunDst(RingConfig(1));
   EXPECT_TRUE(b.ok) << b.error;
+  // With the dedup window armed, the same dup-heavy fault plan is absorbed.
+  const DstResult c = RunDst(DedupConfig(1));
+  EXPECT_TRUE(c.ok) << c.error;
 }
 
 TEST(DstMutation, DropSeqlockBumpCaught) {
@@ -101,6 +129,31 @@ TEST(DstMutation, SkipRingTailPublishCaught) {
   mut::Reset(mut::Mode::kNone);
   EXPECT_TRUE(caught)
       << "dropped ring-tail publish survived " << kSeedBudget << " seeds";
+}
+
+TEST(DstMutation, DropDedupWindowCaught) {
+  mut::Reset(mut::Mode::kDropDedupWindow);
+  bool caught = false;
+  for (uint64_t seed = 1; seed <= kSeedBudget && !caught; seed++) {
+    const DstConfig cfg = DedupConfig(seed);
+    const DstResult r = RunDst(cfg);
+    ASSERT_GT(mut::g_fired, 0u) << "dedup window never consulted";
+    if (!r.ok) {
+      caught = true;
+      // Duplicate re-apply corrupts history consistency, it must not wedge
+      // the run: the failure has to come from the checker, not a hang.
+      EXPECT_EQ(r.error.find("stuck"), std::string::npos)
+          << "unexpected failure mode: " << r.error;
+      // The failing seed must shrink to a still-failing minimal prefix.
+      DstResult min;
+      const uint64_t min_ops = ShrinkToMinimalPrefix(cfg, r, &min);
+      EXPECT_FALSE(min.ok);
+      EXPECT_LE(min_ops, r.ops_issued);
+    }
+  }
+  mut::Reset(mut::Mode::kNone);
+  EXPECT_TRUE(caught)
+      << "disabled dedup window survived " << kSeedBudget << " seeds";
 }
 
 }  // namespace

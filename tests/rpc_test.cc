@@ -195,6 +195,85 @@ Fiber PongServer(ExecCtx* ctx, Nic* nic, RxRing* rx, bool* stop) {
   }
 }
 
+// ------------------------------------------------------------ backpressure
+
+TEST_F(RpcTest, AdvanceStallsWhenRingIsFull) {
+  RxRing::Config cfg;
+  cfg.num_slots = 2;
+  cfg.max_batch = 1;
+  RxRing rx(&arena_, cfg);
+  ExecCtx cli{.eng = &eng_};
+  for (int i = 0; i < 3; i++) {
+    nic_.ClientSend(cli, 0, Req(i));
+  }
+  // Both physical slots close; the third message cannot be placed: Advance
+  // stalls and stashes it (the NIC holds the packet).
+  EXPECT_FALSE(rx.Advance(nic_, 0, 10 * kUsec));
+  EXPECT_TRUE(rx.HasStash());
+  EXPECT_EQ(rx.fill_seq(), 2u);
+  EXPECT_EQ(nic_.RingDepth(0), 0u);  // all three left the NIC queue
+}
+
+TEST_F(RpcTest, StashedMessageIsPlacedFirstAfterRecycle) {
+  RxRing::Config cfg;
+  cfg.num_slots = 2;
+  cfg.max_batch = 1;
+  RxRing rx(&arena_, cfg);
+  ExecCtx cli{.eng = &eng_};
+  for (int i = 0; i < 4; i++) {
+    nic_.ClientSend(cli, 0, Req(i));
+  }
+  EXPECT_FALSE(rx.Advance(nic_, 0, 10 * kUsec));  // key 2 stashed, key 3 queued
+
+  // While stalled, repeated Advance makes no progress and stays stalled.
+  EXPECT_FALSE(rx.Advance(nic_, 0, 10 * kUsec));
+  EXPECT_TRUE(rx.HasStash());
+
+  // Worker drains slot 0: the recv WQE is reposted, the stash goes first and
+  // key 3 follows, preserving arrival order.
+  rx.Claim(0);
+  rx.CompleteOne(0);
+  EXPECT_FALSE(rx.Advance(nic_, 0, 10 * kUsec));  // key 2 placed, key 3 stashed
+  EXPECT_EQ(rx.Records(2)[0].key, 2u);
+  rx.Claim(1);
+  rx.CompleteOne(1);
+  EXPECT_TRUE(rx.Advance(nic_, 0, 10 * kUsec));
+  EXPECT_FALSE(rx.HasStash());
+  EXPECT_EQ(rx.Records(3)[0].key, 3u);
+}
+
+// --------------------------------------------------- link-model edge cases
+
+TEST_F(RpcTest, LinkSerializerZeroLengthMessagesPayMessageRate) {
+  sim::LinkSerializer link(/*mops=*/100.0, /*gbps=*/200.0);
+  // Zero bytes on the wire still occupy a message slot: 10 ns apiece.
+  sim::Tick last = 0;
+  for (int i = 0; i < 10; i++) {
+    last = link.Depart(0, 0);
+  }
+  EXPECT_NEAR(static_cast<double>(last), 90.0, 1.0);
+}
+
+TEST_F(RpcTest, LinkSerializerExactlyAtRateArrivalsNeverQueue) {
+  sim::LinkSerializer link(/*mops=*/100.0, /*gbps=*/200.0);
+  // Arrivals spaced at exactly the service interval (10 ns) depart at their
+  // arrival instants: the token bucket is full each time, nothing queues.
+  for (int i = 0; i < 50; i++) {
+    const sim::Tick now = static_cast<sim::Tick>(i) * 10;
+    EXPECT_EQ(link.Depart(now, 64), now) << "message " << i;
+  }
+}
+
+TEST_F(RpcTest, LinkSerializerIdleGapDoesNotAccumulateCredit) {
+  sim::LinkSerializer link(/*mops=*/100.0, /*gbps=*/200.0);
+  // A long idle gap must not bank capacity: after the gap, a burst still
+  // serializes at the message rate from the first post-gap departure.
+  EXPECT_EQ(link.Depart(0, 64), 0u);
+  EXPECT_EQ(link.Depart(1000, 64), 1000u);  // idle gap, departs immediately
+  EXPECT_EQ(link.Depart(1000, 64), 1010u);  // burst: spaced by 10 ns
+  EXPECT_EQ(link.Depart(1000, 64), 1020u);
+}
+
 TEST_F(RpcTest, EndToEndLatencyIsAtLeastOneRtt) {
   RxRing::Config cfg;
   cfg.max_batch = 1;
