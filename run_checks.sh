@@ -13,6 +13,10 @@
 # MUTPS_DST_FAULTS=1 additionally runs the DST fault-profile sweep (loss+dup,
 #                   straggler, crash-restart x seeds under the linearizability
 #                   checker, DESIGN.md §9). Implied by MUTPS_DST=1.
+# MUTPS_DST_WAL=1   additionally runs the DST crash-recovery sweep: WAL
+#                   crash + replay histories under the durability-augmented
+#                   checker across 3 fault profiles x 5 seeds x 3 commit
+#                   modes (DESIGN.md §10). Implied by MUTPS_DST=1.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -22,11 +26,34 @@ cmake --preset default >/dev/null
 cmake --build --preset default -j "$(nproc)"
 ctest --preset default -R "$CHECKS" -j "$(nproc)"
 
+# Golden rows must match the committed snapshot: regenerate in-memory and
+# diff the row payload (the WAL/fault/obs layers are null-gated, so a drift
+# here means a byte-determinism regression or a stale golden_expected.inc —
+# run scripts/regen_golden.sh if the change is intentional).
+echo "=== golden rows up-to-date check ==="
+MUTPS_GOLDEN_REGEN=1 ./build/tests/golden_test | grep '^    "' >/tmp/golden_rows.$$
+grep '^    "' tests/golden_expected.inc >/tmp/golden_committed.$$
+if ! diff -u /tmp/golden_committed.$$ /tmp/golden_rows.$$; then
+  rm -f /tmp/golden_rows.$$ /tmp/golden_committed.$$
+  echo "golden rows are stale: run scripts/regen_golden.sh and commit" >&2
+  exit 1
+fi
+rm -f /tmp/golden_rows.$$ /tmp/golden_committed.$$
+echo "=== golden rows match ==="
+
 if [ "${MUTPS_DST_FAULTS:-0}" != "0" ] || [ "${MUTPS_DST:-0}" != "0" ]; then
   echo "=== DST fault-profile sweep (3 profiles x extra seeds) ==="
   MUTPS_DST_FAULT_SEEDS="${MUTPS_DST_FAULT_SEEDS:-12}" \
     ./build/tests/dst/dst_fault_test --gtest_filter='DstFaults.*'
   echo "=== fault-profile sweep passed ==="
+fi
+
+if [ "${MUTPS_DST_WAL:-0}" != "0" ] || [ "${MUTPS_DST:-0}" != "0" ]; then
+  echo "=== DST crash-recovery sweep (3 profiles x 5 seeds x 3 commit modes) ==="
+  # 3 fixed seeds + MUTPS_DST_FAULT_SEEDS extra = 5 seeds per cell.
+  MUTPS_DST_FAULT_SEEDS="${MUTPS_DST_FAULT_SEEDS:-2}" \
+    ./build/tests/dst/dst_fault_test --gtest_filter='DstWal.*'
+  echo "=== crash-recovery sweep passed ==="
 fi
 
 if [ "${MUTPS_DST:-0}" != "0" ]; then

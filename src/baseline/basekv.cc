@@ -92,6 +92,7 @@ Task<void> BaseKvServer::ProcessOne(unsigned idx, uint64_t seq, unsigned rec_idx
   }
   const uint8_t* resp = nullptr;
   uint32_t resp_len = 0;
+  wal::WalToken wal_tok;
   switch (op) {
     case OpType::kGet: {
       uint8_t* r = w.resp->Alloc(std::min(rec->value_len() + 8, kMaxValueBytes));
@@ -103,6 +104,10 @@ Task<void> BaseKvServer::ProcessOne(unsigned idx, uint64_t seq, unsigned rec_idx
       const uint8_t* payload = rx_->Data(seq) + rec->payload_off;
       co_await ExecPut(ctx, env_, rec->key, payload, rec->value_len(),
                        opt_.unsynchronized_writes);
+      if (UTPS_UNLIKELY(env_.wal != nullptr)) {
+        wal_tok = env_.wal->Append(ctx, rec->key, OpType::kPut, payload,
+                                   rec->value_len(), msg.rid);
+      }
       break;
     }
     case OpType::kScan: {
@@ -113,10 +118,20 @@ Task<void> BaseKvServer::ProcessOne(unsigned idx, uint64_t seq, unsigned rec_idx
       break;
     }
     case OpType::kDelete: {
-      StageScope s(ctx, Stage::kIndex);
-      co_await env_.index->CoErase(ctx, rec->key);
+      {
+        StageScope s(ctx, Stage::kIndex);
+        co_await env_.index->CoErase(ctx, rec->key);
+      }
+      if (UTPS_UNLIKELY(env_.wal != nullptr)) {
+        wal_tok =
+            env_.wal->Append(ctx, rec->key, OpType::kDelete, nullptr, 0, msg.rid);
+      }
       break;
     }
+  }
+  if (UTPS_UNLIKELY(env_.wal != nullptr) && wal_tok.lsn != 0) {
+    // Hold the ack until the logged write is durable per the commit mode.
+    co_await env_.wal->WaitDurable(ctx, wal_tok);
   }
   {
     StageScope s(ctx, Stage::kRespond);

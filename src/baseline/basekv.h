@@ -48,6 +48,9 @@ class BaseKvServer final : public KvServer {
       }
       env_.eng->Spawn(WorkerMain(i));
     }
+    if (env_.wal != nullptr) {
+      env_.wal->EnsureFlusher(env_.eng);
+    }
   }
   void Stop() override { stop_ = true; }
   unsigned NumRings() const override { return 1; }
@@ -71,6 +74,7 @@ class BaseKvServer final : public KvServer {
     m->Count("basekv", "dedup_done", dedup_.dup_done());
     m->Count("basekv", "dedup_inflight", dedup_.dup_inflight());
   }
+  DedupWindow* MutableDedup() override { return &dedup_; }
 
  private:
   struct Worker {

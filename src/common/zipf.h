@@ -27,8 +27,16 @@ class ZipfianGenerator {
       uniform_ = true;
       return;
     }
+    // theta == 1 is the classic harmonic distribution; the Gray et al.
+    // constants alpha = 1/(1-theta) and the tail integral both divide by
+    // 1 - theta, so that case gets its own inverse-CDF sampler (the CDF is
+    // H_r / H_n with H_r ~ ln r + gamma, directly invertible).
+    harmonic_ = std::fabs(1.0 - theta_) < 1e-9;
     zetan_ = ZetaApprox(n_, theta_);
     zeta2_ = ZetaApprox(2, theta_);
+    if (harmonic_) {
+      return;
+    }
     alpha_ = 1.0 / (1.0 - theta_);
     eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
            (1.0 - zeta2_ / zetan_);
@@ -46,6 +54,14 @@ class ZipfianGenerator {
     }
     if (uz < 1.0 + std::pow(0.5, theta_)) {
       return 1;
+    }
+    if (harmonic_) {
+      // Invert u = H_{r+1} / H_n with H_r ~ ln r + gamma: the 1-based rank
+      // is exp(u * H_n - gamma), clamped into range.
+      constexpr double kEulerGamma = 0.57721566490153286;
+      const double v = std::exp(u * zetan_ - kEulerGamma);
+      uint64_t r = v < 1.0 ? 0 : static_cast<uint64_t>(v) - 1;
+      return r >= n_ ? n_ - 1 : r;
     }
     const double v =
         static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_);
@@ -68,10 +84,15 @@ class ZipfianGenerator {
       z += std::pow(1.0 / static_cast<double>(i), theta);
     }
     if (n > exact) {
-      // Integral approximation of the tail sum_{exact+1..n} i^-theta.
+      // Integral approximation of the tail sum_{exact+1..n} i^-theta. At
+      // theta == 1 the antiderivative is log, not a power.
       const double a = static_cast<double>(exact);
       const double b = static_cast<double>(n);
-      z += (std::pow(b, 1.0 - theta) - std::pow(a, 1.0 - theta)) / (1.0 - theta);
+      if (std::fabs(1.0 - theta) < 1e-9) {
+        z += std::log(b) - std::log(a);
+      } else {
+        z += (std::pow(b, 1.0 - theta) - std::pow(a, 1.0 - theta)) / (1.0 - theta);
+      }
     }
     return z;
   }
@@ -79,6 +100,7 @@ class ZipfianGenerator {
   uint64_t n_;
   double theta_;
   bool uniform_ = false;
+  bool harmonic_ = false;
   double zetan_ = 0.0;
   double zeta2_ = 0.0;
   double alpha_ = 0.0;

@@ -49,6 +49,11 @@ struct CrMrHostDesc {
   uint32_t resp_off = 0;        // bytes already filled by the CR layer
   uint8_t num_skip = 0;
   Key skip_keys[8] = {};
+  // Durability (src/wal): token of the WAL append the MR layer performed for
+  // this request; the CR layer waits on it before releasing the response.
+  // lsn == 0 (the default, and always with WAL off) means nothing to wait on.
+  uint64_t wal_lsn = 0;
+  uint32_t wal_shard = 0;
 };
 
 class CrMrRing {

@@ -96,6 +96,12 @@ void MuTpsServer::Start() {
   if (env_.fault != nullptr) {
     env_.eng->Spawn(HealthProbeMain());
   }
+  if (env_.wal != nullptr) {
+    // Dedicated log-writer worker, hung off the MR/CR split on the management
+    // core: group/async commit modes drain shard buffers off the critical
+    // path. No-op in sync mode (ops issue their own syncs).
+    env_.wal->EnsureFlusher(env_.eng);
+  }
 }
 
 uint64_t MuTpsServer::OpsCompleted() const {
@@ -358,6 +364,11 @@ Task<bool> MuTpsServer::CrHandleRecord(unsigned idx, uint64_t rx_seq,
     } else if (op == OpType::kPut) {
       const uint8_t* payload = rx_->Data(rx_seq) + rec->payload_off;
       co_await ExecPut(ctx, env_, key, payload, vlen);
+      if (UTPS_UNLIKELY(env_.wal != nullptr)) {
+        const wal::WalToken tok =
+            env_.wal->Append(ctx, key, OpType::kPut, payload, vlen, hd.msg.rid);
+        co_await env_.wal->WaitDurable(ctx, tok);
+      }
     } else {
       uint8_t* resp = w.resp->Alloc(kScanRespCap);
       hd.resp = resp;
@@ -459,6 +470,11 @@ Task<void> MuTpsServer::CrServeHot(unsigned idx, Item* item, const RxRecord& rec
     StageScope s(ctx, Stage::kData);
     co_await ctx.Read(payload, rec.value_len());
     co_await ItemWrite(ctx, item, payload, rec.value_len());
+    if (UTPS_UNLIKELY(env_.wal != nullptr)) {
+      const wal::WalToken tok = env_.wal->Append(
+          ctx, rec.key, OpType::kPut, payload, rec.value_len(), hd.msg.rid);
+      co_await env_.wal->WaitDurable(ctx, tok);
+    }
   }
   SendResponse(w, hd);
 }
@@ -561,6 +577,11 @@ Task<void> MuTpsServer::CrPollCompletions(unsigned idx) {
       CrMrRing::Slot* slot = r.SlotAt(seq);
       CrMrHostDesc* host = r.HostAt(seq);
       for (unsigned i = 0; i < slot->count; i++) {
+        if (UTPS_UNLIKELY(host[i].wal_lsn != 0) && env_.wal != nullptr) {
+          // MR-applied PUT: hold the ack until its log record is durable.
+          co_await env_.wal->WaitDurable(
+              ctx, wal::WalToken{host[i].wal_shard, host[i].wal_lsn});
+        }
         SendResponse(w, host[i]);
       }
       w.outstanding -= slot->count;
@@ -742,6 +763,15 @@ Task<void> MuTpsServer::MrProcessOne(ExecCtx& ctx, CrMrDesc d,
     hd->resp_len = co_await ExecGet(ctx, env_, d.key, hd->resp);
   } else if (op == OpType::kPut) {
     co_await ExecPut(ctx, env_, d.key, hd->payload, vlen);
+    if (UTPS_UNLIKELY(env_.wal != nullptr)) {
+      // Append here (where the op applied); the CR layer waits on the token
+      // before releasing the ack, so the durability stall never blocks the
+      // MR batch.
+      const wal::WalToken tok = env_.wal->Append(ctx, d.key, OpType::kPut,
+                                                 hd->payload, vlen, hd->msg.rid);
+      hd->wal_shard = tok.shard;
+      hd->wal_lsn = tok.lsn;
+    }
   } else {
     hd->resp_len = co_await ExecScan(
         ctx, env_, d.key, hd->scan_upper, hd->scan_count, hd->resp + hd->resp_off,

@@ -92,6 +92,7 @@ class MuTpsServer final : public KvServer {
     return dedup_.dup_done() + dedup_.dup_inflight();
   }
   void ExportMetrics(obs::MetricsRegistry* m) const override;
+  DedupWindow* MutableDedup() override { return &dedup_; }
   // True once the auto-tuner has completed its first search (always true when
   // auto-tuning is disabled) — the harness gates measurement on this.
   bool tuned() const { return tuned_once_ || !opt_.autotune; }

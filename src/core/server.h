@@ -14,6 +14,7 @@
 #include "sim/engine.h"
 #include "sim/nic.h"
 #include "store/slab.h"
+#include "wal/wal.h"
 
 namespace utps {
 
@@ -35,6 +36,11 @@ struct ServerEnv {
   // Servers consult IsCrashed() in worker loops, wire worker contexts to
   // SlowPtr(), and — for μTPS — run the manager health probe when set.
   fault::FaultInjector* fault = nullptr;
+
+  // Write-ahead log (null = durability off, byte-identical to a WAL-free
+  // build). Servers append applied PUT/DELETEs and hold each ack until the
+  // record is durable per the commit mode; Start() spawns the log-writer.
+  wal::WalManager* wal = nullptr;
 
   // Fixed per-request CPU costs (ns), identical across server systems.
   sim::Tick parse_cpu_ns = 30;
@@ -66,6 +72,10 @@ class KvServer {
   // Snapshot server-internal counters into a metrics registry (called by the
   // harness at the end of the measurement window; no-op by default).
   virtual void ExportMetrics(obs::MetricsRegistry* m) const { (void)m; }
+
+  // At-most-once dedup window, for WAL recovery to re-seed from logged
+  // request ids. Null for servers without a retry-capable dedup path.
+  virtual DedupWindow* MutableDedup() { return nullptr; }
 
   virtual const char* Name() const = 0;
 };

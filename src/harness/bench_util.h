@@ -13,6 +13,8 @@
 //   MUTPS_METRICS      if non-zero, dump the metrics registry after each row
 //   MUTPS_FAULTS       fault profile, e.g. "loss:0.01,dup:0.02" — see
 //                      fault/fault.h for the full token list
+//   MUTPS_WAL          durability profile, e.g. "mode:group,windowus:2" —
+//                      see wal/wal.h for the full token list
 #ifndef UTPS_HARNESS_BENCH_UTIL_H_
 #define UTPS_HARNESS_BENCH_UTIL_H_
 
@@ -63,6 +65,8 @@ inline ExperimentConfig StdConfig(SystemKind system, const WorkloadSpec& spec) {
   cfg.mutps.refresh_period_ns = 2 * sim::kMsec;
   // Fault profile from MUTPS_FAULTS (empty: disabled; see fault/fault.h).
   cfg.fault = fault::FaultFromEnv();
+  // Durability profile from MUTPS_WAL (empty: disabled; see wal/wal.h).
+  cfg.wal = wal::WalFromEnv();
   // Observability knobs (all default-off; see obs/obs.h).
   cfg.obs.trace_path = EnvStr("MUTPS_TRACE", "");
   cfg.obs.trace = !cfg.obs.trace_path.empty();

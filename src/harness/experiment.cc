@@ -277,6 +277,13 @@ ExperimentResult TestBed::Run(const ExperimentConfig& cfg) {
                  observer != nullptr ? observer->tracer() : nullptr);
   }
 
+  // Durable log (DESIGN.md §10): one per run, like the NIC. Null unless
+  // configured so default points stay byte-identical.
+  std::unique_ptr<wal::WalManager> walm;
+  if (cfg.wal.enabled) {
+    walm = std::make_unique<wal::WalManager>(cfg.wal);
+  }
+
   ServerEnv env;
   env.eng = &eng;
   env.mem = mem_.get();
@@ -288,6 +295,7 @@ ExperimentResult TestBed::Run(const ExperimentConfig& cfg) {
   env.index_type = index_type_;
   env.num_workers = server_workers_;
   env.obs = observer.get();
+  env.wal = walm.get();
 
   std::unique_ptr<KvServer> server;
   PassiveKv* passive = nullptr;
@@ -452,6 +460,9 @@ ExperimentResult TestBed::Run(const ExperimentConfig& cfg) {
       res.timeline_p99_ns.push_back(h.Percentile(0.99));
     }
   }
+  if (walm != nullptr) {
+    res.wal_counters = walm->counters();
+  }
 
   // Observability outputs — built at t1, before the drain below, so the
   // report covers exactly the measurement window.
@@ -505,6 +516,10 @@ ExperimentResult TestBed::Run(const ExperimentConfig& cfg) {
     server->Stop();
   }
   eng.Run(eng.now() + 200 * sim::kUsec);
+  if (walm != nullptr) {
+    walm->Stop();  // log-writer drains pending syncs and exits
+    eng.Run(eng.now() + 100 * sim::kUsec);
+  }
   res.sched_events = eng.stats().events_processed;
   res.sched_peak_pending = eng.stats().peak_heap;
   return res;

@@ -24,6 +24,7 @@
 #include "obs/obs.h"
 #include "stats/histogram.h"
 #include "stats/timeseries.h"
+#include "wal/wal.h"
 #include "workload/workload.h"
 
 namespace utps {
@@ -77,6 +78,11 @@ struct ExperimentConfig {
   // fig15: also record a per-bucket P99 latency timeline (same bucket width
   // as record_timeline).
   bool record_latency_timeline = false;
+  // Durability tier (DESIGN.md §10). Disabled by default; a run with
+  // wal.enabled == false is byte-identical to a build without the WAL. When
+  // enabled, servers log every PUT/DELETE and gate the ack per wal.mode —
+  // the fig17 sweep compares sync vs group vs async commit.
+  wal::WalConfig wal;
 };
 
 struct ExperimentResult {
@@ -106,6 +112,8 @@ struct ExperimentResult {
   uint64_t salvaged_slots = 0;    // ring slots drained by the health probe
   uint64_t dedup_suppressed = 0;  // duplicate writes suppressed server-side
   fault::FaultCounters fault_counters;
+  // Durability outcome (all zero when cfg.wal is disabled).
+  wal::WalCounters wal_counters;
   // Observability outputs (populated only when the matching knob is on).
   obs::CycleReport cycles;       // per-op stage breakdown over the window
   std::string trace_file;        // path the Chrome trace JSON was written to

@@ -191,6 +191,17 @@ class Nic {
   size_t RingDepth(unsigned ring) const { return rings_[ring].size(); }
   unsigned NumRings() const { return static_cast<unsigned>(rings_.size()); }
 
+  // Crash-restart support (src/wal recovery): models a NIC reset — requests
+  // queued toward the server but not yet placed into receive slots are lost.
+  // Clients on the retry path retransmit them with the same rid. Responses
+  // already scheduled as engine events still deliver; the client-side gate
+  // discards duplicates. Unused in fault-free runs (byte-identical).
+  void DropPending() {
+    for (auto& q : rings_) {
+      q.clear();
+    }
+  }
+
   // Server posts a response of `resp_payload_len` bytes; completes the
   // client's OneShot at delivery time. If the request asked for payload
   // copy-out, `resp_src` is copied into the client's buffer now (host-level

@@ -38,6 +38,7 @@
 #include "sim/sync.h"
 #include "store/item.h"
 #include "store/slab.h"
+#include "wal/wal.h"
 
 namespace utps::dst {
 
@@ -97,6 +98,14 @@ struct DstConfig {
   // sweeping seeds also sweeps fault schedules. When enabled, clients of
   // two-sided systems switch to rid-tagged timeout/retry sends.
   fault::FaultConfig fault;
+  // Durability tier (wal/wal.h). When wal.enabled the server logs writes; a
+  // nonzero server_crash_at_ns additionally crash-stops the whole serving
+  // instance at that tick — queued NIC requests are lost, a fresh instance is
+  // rebuilt from the populated base image + WAL replay, and clients (which
+  // must be on the retry path) fail over to it transparently. Single-ring
+  // systems only (kMuTpsH / kMuTpsT / kBaseKv).
+  wal::WalConfig wal;
+  sim::Tick server_crash_at_ns = 0;  // 0 = no whole-server crash
 };
 
 struct DstResult {
@@ -111,6 +120,9 @@ struct DstResult {
   // Resilience telemetry (zero when no fault plan is active).
   uint64_t retries = 0;     // client retransmits across all ops
   uint64_t failovers = 0;   // μTPS MR-worker failure detections
+  // Durability telemetry (zero when no WAL is configured).
+  uint64_t recoveries = 0;    // whole-server crash-restart cycles performed
+  uint64_t wal_replayed = 0;  // WAL records applied by recovery
 };
 
 namespace internal {
@@ -345,6 +357,14 @@ inline DstResult RunDst(const DstConfig& cfg) {
   UTPS_CHECK(cfg.value_size >= 8);
   UTPS_CHECK(cfg.clients + 1 < 4096 && cfg.ops_per_client + 1 < 4096);
   UTPS_CHECK(cfg.workers >= 2);
+  if (cfg.server_crash_at_ns > 0) {
+    // Crash recovery replays the WAL into a rebuilt instance; it only makes
+    // sense with the log enabled, and only the single-ring systems have a
+    // rebuild path here.
+    UTPS_CHECK(cfg.wal.enabled);
+    UTPS_CHECK(cfg.sys == Sys::kMuTpsH || cfg.sys == Sys::kMuTpsT ||
+               cfg.sys == Sys::kBaseKv);
+  }
   // Re-arm the mutation hooks (keeps the active mode, resets fire counters)
   // so shrink re-runs of a mutated configuration replay identically. A no-op
   // in normal builds.
@@ -368,33 +388,44 @@ inline DstResult RunDst(const DstConfig& cfg) {
   SlabAllocator slab(&arena);
 
   // ---- populate: every key carries a parseable stamp from writer 0 --------
-  check::History hist;
-  std::vector<Item*> items(cfg.num_keys);
-  for (Key k = 0; k < cfg.num_keys; k++) {
-    Item* it = slab.AllocateItem(k, cfg.value_size);
-    check::StampFill(it->value(), cfg.value_size, check::MakeStamp(k, 0));
-    it->value_len = cfg.value_size;
-    items[k] = it;
-    hist.initial[k] = check::MakeStamp(k, 0);
-  }
-  std::unique_ptr<KvIndex> index;
-  if (tree) {
-    auto idx = std::make_unique<BTreeIndex>(&arena);
-    std::vector<std::pair<Key, Item*>> sorted;
-    sorted.reserve(cfg.num_keys);
+  // Population and index build are factored out because crash recovery
+  // re-creates the same base image (the "checkpoint") and replays the WAL on
+  // top of it.
+  auto populate = [&cfg](SlabAllocator& sl) {
+    std::vector<Item*> its(cfg.num_keys);
     for (Key k = 0; k < cfg.num_keys; k++) {
-      sorted.emplace_back(k, items[k]);
+      Item* it = sl.AllocateItem(k, cfg.value_size);
+      check::StampFill(it->value(), cfg.value_size, check::MakeStamp(k, 0));
+      it->value_len = cfg.value_size;
+      its[k] = it;
     }
-    idx->BulkLoadDirect(sorted);
-    index = std::move(idx);
-  } else {
+    return its;
+  };
+  auto build_index =
+      [&](const std::vector<Item*>& its) -> std::unique_ptr<KvIndex> {
+    if (tree) {
+      auto idx = std::make_unique<BTreeIndex>(&arena);
+      std::vector<std::pair<Key, Item*>> sorted;
+      sorted.reserve(cfg.num_keys);
+      for (Key k = 0; k < cfg.num_keys; k++) {
+        sorted.emplace_back(k, its[k]);
+      }
+      idx->BulkLoadDirect(sorted);
+      return idx;
+    }
     auto idx = std::make_unique<CuckooIndex>(
         &arena, std::max<uint64_t>(cfg.num_keys * 2, 256), cfg.seed | 1);
     for (Key k = 0; k < cfg.num_keys; k++) {
-      UTPS_CHECK(idx->InsertDirect(k, items[k]));
+      UTPS_CHECK(idx->InsertDirect(k, its[k]));
     }
-    index = std::move(idx);
+    return idx;
+  };
+  check::History hist;
+  std::vector<Item*> items = populate(slab);
+  for (Key k = 0; k < cfg.num_keys; k++) {
+    hist.initial[k] = check::MakeStamp(k, 0);
   }
+  std::unique_ptr<KvIndex> index = build_index(items);
   std::vector<std::unique_ptr<KvIndex>> shards;
   if (cfg.sys == Sys::kErpcKv) {
     for (unsigned i = 0; i < cfg.workers; i++) {
@@ -431,6 +462,11 @@ inline DstResult RunDst(const DstConfig& cfg) {
     inj = std::make_unique<fault::FaultInjector>(fc);
     inj->Install(&eng, &nic, &mem, nullptr);
   }
+  // Durable log: null unless configured, so default runs stay byte-identical.
+  std::unique_ptr<wal::WalManager> walm;
+  if (cfg.wal.enabled) {
+    walm = std::make_unique<wal::WalManager>(cfg.wal);
+  }
   ServerEnv env;
   env.eng = &eng;
   env.mem = &mem;
@@ -441,13 +477,12 @@ inline DstResult RunDst(const DstConfig& cfg) {
   env.index = index.get();
   env.index_type = tree ? IndexType::kTree : IndexType::kHash;
   env.num_workers = cfg.workers;
+  env.wal = walm.get();
 
-  std::unique_ptr<KvServer> server;
-  MuTpsServer* mutps = nullptr;
-  PassiveKv* passive = nullptr;
-  switch (cfg.sys) {
-    case Sys::kMuTpsH:
-    case Sys::kMuTpsT: {
+  // Factory for the crash-recoverable systems: recovery constructs a second
+  // instance over the rebuilt store with identical options.
+  auto make_server = [&cfg](const ServerEnv& e) -> std::unique_ptr<KvServer> {
+    if (cfg.sys == Sys::kMuTpsH || cfg.sys == Sys::kMuTpsT) {
       MuTpsServer::Options o;
       o.autotune = false;
       o.initial_ncr = std::max(1u, cfg.workers / 2);
@@ -455,13 +490,23 @@ inline DstResult RunDst(const DstConfig& cfg) {
       // path see traffic (and CR reads race MR writes on hot keys).
       o.initial_cache_items = static_cast<uint32_t>(cfg.num_keys / 4 + 1);
       o.refresh_period_ns = 60 * sim::kUsec;
-      auto s = std::make_unique<MuTpsServer>(env, o);
-      mutps = s.get();
-      server = std::move(s);
-      break;
+      return std::make_unique<MuTpsServer>(e, o);
     }
+    UTPS_CHECK(cfg.sys == Sys::kBaseKv);
+    return std::make_unique<BaseKvServer>(e, BaseKvServer::Options{});
+  };
+
+  std::unique_ptr<KvServer> server;
+  MuTpsServer* mutps = nullptr;
+  PassiveKv* passive = nullptr;
+  switch (cfg.sys) {
+    case Sys::kMuTpsH:
+    case Sys::kMuTpsT:
+      server = make_server(env);
+      mutps = static_cast<MuTpsServer*>(server.get());
+      break;
     case Sys::kBaseKv:
-      server = std::make_unique<BaseKvServer>(env, BaseKvServer::Options{});
+      server = make_server(env);
       break;
     case Sys::kErpcKv: {
       std::vector<KvIndex*> sp;
@@ -491,8 +536,11 @@ inline DstResult RunDst(const DstConfig& cfg) {
   sh.supports_scan = tree && cfg.sys != Sys::kErpcKv;
   sh.supports_delete = cfg.sys == Sys::kBaseKv || cfg.sys == Sys::kErpcKv;
   // Under faults, two-sided clients must retry or a dropped message would
-  // strand the fiber; one-sided verbs model reliable RDMA (no drops).
-  sh.use_retry = inj != nullptr && server != nullptr;
+  // strand the fiber; one-sided verbs model reliable RDMA (no drops). A
+  // whole-server crash likewise drops queued requests, so its clients must
+  // also be on the retry path.
+  sh.use_retry =
+      (inj != nullptr || cfg.server_crash_at_ns > 0) && server != nullptr;
   std::vector<internal::ClientRes> client_res(cfg.clients);
   for (auto& r : client_res) {
     r.payload.resize(cfg.value_size);
@@ -520,16 +568,71 @@ inline DstResult RunDst(const DstConfig& cfg) {
     deadline = deadline * 8 + cfg.fault.crash_at_ns +
                cfg.fault.restart_after_ns + cfg.fault.stop_ns;
   }
+  if (cfg.server_crash_at_ns > 0) {
+    deadline = deadline * 8 + cfg.server_crash_at_ns;
+  }
+  // Crash-recovery state. The crashed instance is kept alive (not destroyed):
+  // responses it already handed to the NIC still deliver after the swap, and
+  // the client gates dedup them against retransmitted copies.
+  std::unique_ptr<KvServer> dead_server;
+  std::unique_ptr<SlabAllocator> slab2;
+  std::unique_ptr<KvIndex> index2;
+  std::vector<Item*> items2;
+  bool crashed = false;
   while (sh.active > 0 && eng.now() < deadline) {
-    eng.Run(eng.now() + 20 * sim::kUsec);
+    sim::Tick until = eng.now() + 20 * sim::kUsec;
+    if (!crashed && cfg.server_crash_at_ns > 0 &&
+        until > cfg.server_crash_at_ns) {
+      until = cfg.server_crash_at_ns;  // land exactly on the crash tick
+    }
+    eng.Run(until);
+    if (!crashed && cfg.server_crash_at_ns > 0 &&
+        eng.now() >= cfg.server_crash_at_ns) {
+      crashed = true;
+      // Crash-stop: workers park at their next loop top; claimed batches
+      // drain (every ack they release was WAL-appended first), then the NIC
+      // loses everything still queued — those clients time out and retry.
+      server->Stop();
+      eng.Run(eng.now() + 200 * sim::kUsec);
+      nic.DropPending();
+      // Recovery: rebuild the populated base image (checkpoint), replay the
+      // WAL on top of it through the Direct plane, re-seed the new instance's
+      // dedup window from logged rids (a retransmit of an already-applied
+      // write gets an ack, not a second application), then rejoin.
+      slab2 = std::make_unique<SlabAllocator>(&arena);
+      items2 = populate(*slab2);
+      index2 = build_index(items2);
+      env.slab = slab2.get();
+      env.index = index2.get();
+      dead_server = std::move(server);
+      server = make_server(env);
+      mutps = (cfg.sys == Sys::kMuTpsH || cfg.sys == Sys::kMuTpsT)
+                  ? static_cast<MuTpsServer*>(server.get())
+                  : nullptr;
+      out.wal_replayed =
+          walm->Replay(index2.get(), slab2.get(), server->MutableDedup());
+      server->Start();
+      sh.server = server.get();  // clients pick up the new instance per-op
+      out.recoveries++;
+    }
   }
   const bool stuck = sh.active > 0;
   if (server != nullptr) {
     server->Stop();
   }
   eng.Run(eng.now() + 400 * sim::kUsec);  // drain workers + manager
+  if (walm != nullptr) {
+    // Ask the log-writer to drain pending syncs and exit; gated on the WAL so
+    // default runs keep the exact event sequence (byte-identical digests).
+    walm->Stop();
+    eng.Run(eng.now() + 100 * sim::kUsec);
+  }
 
   // ---- quiesce-time structural audits ------------------------------------
+  // After a crash the serving store is the rebuilt one; the dead instance's
+  // structures are abandoned and not audited.
+  KvIndex* fin_index = crashed ? index2.get() : index.get();
+  SlabAllocator& fin_slab = crashed ? *slab2 : slab;
   check::AuditReport rep;
   const bool may_delete = sh.supports_delete && cfg.mix.del > 0;
   if (cfg.sys == Sys::kErpcKv) {
@@ -545,13 +648,34 @@ inline DstResult RunDst(const DstConfig& cfg) {
           " expected " + std::to_string(cfg.num_keys));
     }
   } else {
-    check::AuditStore(*index, slab, may_delete ? UINT64_MAX : cfg.num_keys,
-                      &rep);
+    check::AuditStore(*fin_index, fin_slab,
+                      may_delete ? UINT64_MAX : cfg.num_keys, &rep);
   }
   if (mutps != nullptr) {
     std::string err;
     if (!mutps->AuditQuiesced(&err)) {
       rep.failures.push_back(err);
+    }
+  }
+
+  // ---- durability rule ----------------------------------------------------
+  // After a crash + recovery, an auditor client reads every key straight off
+  // the recovered store and appends the results to the history. The
+  // linearizability checker then enforces the durability rule for free: an
+  // acked PUT (or DELETE) that recovery lost shows up as a stale final read
+  // with no linearization point, and the history fails.
+  if (crashed) {
+    const uint16_t auditor = static_cast<uint16_t>(cfg.clients);
+    sim::Tick t = eng.now() + 1;
+    for (Key k = 0; k < cfg.num_keys; k++) {
+      Item* it = fin_index->GetDirect(k);
+      if (it == nullptr) {
+        hist.RecordGet(auditor, k, 0, false, t, t + 1);  // absent
+      } else {
+        internal::RecordGetBytes(&sh, auditor, k, it->value(), it->value_len,
+                                 cfg.value_size, t, t + 1);
+      }
+      t += 2;  // keep the auditor's ops sequential in virtual time
     }
   }
 

@@ -54,6 +54,37 @@ TEST(Histogram, MergeCombines) {
   EXPECT_EQ(a.min(), 100u);
 }
 
+// Merging with an empty operand (either direction) must not disturb totals,
+// min, or max — an empty histogram's internal min sentinel (UINT64_MAX) must
+// not leak into the merged result.
+TEST(Histogram, MergeWithEmptyOperandIsIdentity) {
+  Histogram a;
+  a.Record(100);
+  a.Record(5000);
+  Histogram empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.total(), 2u);
+  EXPECT_EQ(a.min(), 100u);
+  EXPECT_EQ(a.max(), 5000u);
+  EXPECT_GE(a.Percentile(1.0), a.min());
+  EXPECT_LE(a.Percentile(1.0), a.max());
+
+  Histogram b;
+  b.Merge(a);  // empty receiver
+  EXPECT_EQ(b.total(), 2u);
+  EXPECT_EQ(b.min(), 100u);
+  EXPECT_EQ(b.max(), 5000u);
+
+  Histogram c;
+  Histogram d;
+  c.Merge(d);  // empty with empty
+  EXPECT_EQ(c.total(), 0u);
+  EXPECT_EQ(c.min(), 0u);
+  c.Record(7);  // still usable afterwards
+  EXPECT_EQ(c.min(), 7u);
+  EXPECT_EQ(c.max(), 7u);
+}
+
 TEST(Histogram, HugeValuesClampToLastBucket) {
   Histogram h;
   h.Record(UINT64_MAX / 2);
@@ -119,6 +150,31 @@ TEST(TimeSeries, CapsBucketsAndCountsOverflow) {
   ts.Add(1500);
   EXPECT_EQ(ts.buckets()[1], 1u);
   EXPECT_EQ(ts.overflow(), 5u);
+}
+
+// The last bucket's rate is unreliable once overflow() is non-zero: saturated
+// events inflate it past what genuinely landed in that time window. The tally
+// is exactly the amount a consumer must discount — and without overflow the
+// last bucket stays trustworthy.
+TEST(TimeSeries, OverflowFlagsLastBucketRateUnreliable) {
+  TimeSeries ts(1000);
+  const uint64_t last = TimeSeries::kMaxBuckets - 1;
+  ts.Add(last * 1000 + 10);  // genuinely in the last bucket
+  EXPECT_EQ(ts.overflow(), 0u);
+  EXPECT_DOUBLE_EQ(ts.RateAt(last), 1e6);  // trustworthy: no overflow
+
+  ts.Add(UINT64_MAX / 4, 4);  // saturates into the last bucket
+  EXPECT_EQ(ts.overflow(), 4u);
+  // The raw rate now over-reports by exactly the overflow tally.
+  EXPECT_DOUBLE_EQ(ts.RateAt(last), 5e6);
+  const double corrected =
+      static_cast<double>(ts.buckets()[last] - ts.overflow()) * 1e9 /
+      static_cast<double>(ts.bucket_ns());
+  EXPECT_DOUBLE_EQ(corrected, 1e6);
+  // Earlier buckets stay unaffected by saturation.
+  ts.Add(500);
+  EXPECT_DOUBLE_EQ(ts.RateAt(0), 1e6);
+  EXPECT_EQ(ts.overflow(), 4u);
 }
 
 // -------------------------------------------------- seqlock property tests

@@ -58,6 +58,66 @@ TEST(Zipfian, RankZeroIsHottest) {
   EXPECT_EQ(best_rank, 0);
 }
 
+// Regression: theta == 1.0 (the classic harmonic distribution) used to
+// divide by 1 - theta in both the alpha constant and the zeta tail integral,
+// producing inf/NaN ranks. The harmonic branch must sample finite, in-range
+// ranks with sane skew, and the neighbors of the singularity must keep
+// working through the generic path.
+TEST(Zipfian, HarmonicThetaNeighborhoodIsFiniteAndSkewed) {
+  const uint64_t kN = 1'000'000;
+  const int kSamples = 200000;
+  for (double theta : {0.99, 1.0, 1.01}) {
+    ZipfianGenerator gen(kN, theta);
+    Rng rng(42);
+    std::map<uint64_t, int> counts;
+    uint64_t top100 = 0;
+    for (int i = 0; i < kSamples; i++) {
+      const uint64_t r = gen.Next(rng);
+      ASSERT_LT(r, kN) << "theta=" << theta;  // finite and in range
+      counts[r]++;
+      if (r < 100) {
+        top100++;
+      }
+    }
+    // Rank 0 is the hottest.
+    int best = 0;
+    uint64_t best_rank = kN;
+    for (const auto& [r, c] : counts) {
+      if (c > best) {
+        best = c;
+        best_rank = r;
+      }
+    }
+    EXPECT_EQ(best_rank, 0u) << "theta=" << theta;
+    // Sane skew: around theta = 1 the 100 hottest ranks draw roughly a
+    // quarter to a third of the traffic over 1M keys — far from uniform
+    // (which would put ~0.01% there) and far from degenerate.
+    EXPECT_GT(top100, kSamples / 8u) << "theta=" << theta;
+    EXPECT_LT(top100, kSamples / 2u) << "theta=" << theta;
+  }
+}
+
+TEST(Zipfian, HarmonicSkewIncreasesWithTheta) {
+  // The theta sweep must order itself: more skew concentrates more traffic
+  // on the head, and theta = 1.0 must land between its neighbors.
+  const uint64_t kN = 1'000'000;
+  const int kSamples = 100000;
+  double prev = -1.0;
+  for (double theta : {0.99, 1.0, 1.01}) {
+    ZipfianGenerator gen(kN, theta);
+    Rng rng(7);
+    uint64_t top1000 = 0;
+    for (int i = 0; i < kSamples; i++) {
+      if (gen.Next(rng) < 1000) {
+        top1000++;
+      }
+    }
+    const double frac = static_cast<double>(top1000) / kSamples;
+    EXPECT_GT(frac, prev) << "theta=" << theta;
+    prev = frac;
+  }
+}
+
 TEST(ScrambledZipfian, SpreadsHotKeysOverKeyspace) {
   ScrambledZipfian gen(1'000'000, 0.99);
   // The 10 hottest keys should not be clustered in a narrow key range.
