@@ -1,0 +1,140 @@
+// Host-parallel simulation backend sweep (DESIGN.md §11): wall-clock speed of
+// the partitioned-parallel engine vs the serial engine on μTPS points with
+// 32/64/128 simulated client cores driving the paper's 28-worker server,
+// sweeping host threads. The client fleet is the axis that partitions across
+// host threads (partition 0 always owns the whole server; the cache model
+// caps a single simulated server at 32 cores), so it is the axis that is
+// swept. Like selfperf, this measures the *host*, not the simulated system:
+// the simulated results are value-identical across backends by construction
+// (par_equiv_test), so the only interesting axes are wall seconds, events/s
+// and speedup.
+//
+// Output: BENCH_parsim.json in the current directory, or the path given in
+// MUTPS_PARSIM_OUT. The file records host_cpus: speedup from host threads is
+// physically bounded by the number of host CPUs, so a 1-CPU container will
+// honestly report <= 1x no matter how many partitions run.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/env.h"
+#include "harness/experiment.h"
+
+using namespace utps;
+
+namespace {
+
+constexpr uint64_t kKeys = 200000;
+constexpr uint64_t kSeed = 42;
+
+struct ParRow {
+  std::string name;
+  unsigned sim_cores = 0;
+  unsigned host_threads = 0;  // requested partitions (1 = serial engine)
+  double wall_s = 0.0;
+  uint64_t events = 0;
+  double events_per_sec = 0.0;
+  double sim_mops = 0.0;
+  uint64_t sim_ops = 0;
+  double speedup = 0.0;  // serial wall_s / this wall_s, same sim_cores
+};
+
+ExperimentConfig PointConfig(unsigned sim_cores, unsigned host_threads) {
+  ExperimentConfig cfg;
+  cfg.system = SystemKind::kMuTps;
+  cfg.workload = WorkloadSpec::YcsbA(kKeys, 64);
+  cfg.client_threads = sim_cores;  // one simulated client core per thread
+  cfg.pipeline_depth = 8;
+  cfg.seed = kSeed;
+  cfg.warmup_ns = 500 * sim::kUsec;
+  cfg.measure_ns = 1 * sim::kMsec;
+  cfg.max_warmup_ns = 10 * sim::kMsec;
+  cfg.mutps.autotune = false;
+  cfg.sim_threads = host_threads;
+  return cfg;
+}
+
+ParRow RunPoint(TestBed& bed, unsigned sim_cores, unsigned host_threads) {
+  const auto start = std::chrono::steady_clock::now();
+  const ExperimentResult r = bed.Run(PointConfig(sim_cores, host_threads));
+  const auto end = std::chrono::steady_clock::now();
+  ParRow row;
+  char name[64];
+  std::snprintf(name, sizeof(name), "cores%u_threads%u", sim_cores,
+                r.host_threads);
+  row.name = name;
+  row.sim_cores = sim_cores;
+  row.host_threads = r.host_threads;
+  row.wall_s = std::chrono::duration<double>(end - start).count();
+  row.events = r.sched_events;
+  row.events_per_sec =
+      row.wall_s > 0.0 ? static_cast<double>(r.sched_events) / row.wall_s : 0.0;
+  row.sim_mops = r.mops;
+  row.sim_ops = r.ops;
+  std::printf("%-24s %8.3f s  %12llu events  %10.0f ev/s  %8.2f simMops\n",
+              row.name.c_str(), row.wall_s,
+              static_cast<unsigned long long>(row.events), row.events_per_sec,
+              row.sim_mops);
+  std::fflush(stdout);
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  const unsigned host_cpus = std::thread::hardware_concurrency();
+  std::printf("== parallel-simulation sweep (%llu keys, seed %llu, %u host "
+              "CPUs) ==\n",
+              static_cast<unsigned long long>(kKeys),
+              static_cast<unsigned long long>(kSeed), host_cpus);
+
+  std::vector<ParRow> rows;
+  for (unsigned sim_cores : {32u, 64u, 128u}) {
+    // One bed per client-fleet size so every (cores, threads) grid point
+    // starts from the same freshly-populated database.
+    TestBed bed(IndexType::kTree, WorkloadSpec::YcsbA(kKeys, 64));
+    // Serial baseline first; parallel legs report speedup against it.
+    double serial_wall = 0.0;
+    for (unsigned threads : {1u, 2u, 4u, 8u}) {
+      ParRow row = RunPoint(bed, sim_cores, threads);
+      if (threads == 1) {
+        serial_wall = row.wall_s;
+        row.speedup = 1.0;
+      } else if (row.wall_s > 0.0) {
+        row.speedup = serial_wall / row.wall_s;
+      }
+      rows.push_back(row);
+    }
+  }
+
+  const std::string out = EnvStr("MUTPS_PARSIM_OUT", "BENCH_parsim.json");
+  FILE* f = std::fopen(out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "fig18: cannot open %s\n", out.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"parallel_sim\",\n");
+  std::fprintf(f, "  \"host_cpus\": %u,\n", host_cpus);
+  std::fprintf(f, "  \"keys\": %llu,\n  \"seed\": %llu,\n",
+               static_cast<unsigned long long>(kKeys),
+               static_cast<unsigned long long>(kSeed));
+  std::fprintf(f, "  \"benches\": [\n");
+  for (size_t i = 0; i < rows.size(); i++) {
+    const ParRow& r = rows[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"sim_cores\": %u, "
+                 "\"host_threads\": %u, \"wall_s\": %.6f, \"events\": %llu, "
+                 "\"events_per_sec\": %.0f, \"sim_mops\": %.4f, "
+                 "\"sim_ops\": %llu, \"speedup\": %.3f}%s\n",
+                 r.name.c_str(), r.sim_cores, r.host_threads, r.wall_s,
+                 static_cast<unsigned long long>(r.events), r.events_per_sec,
+                 r.sim_mops, static_cast<unsigned long long>(r.sim_ops),
+                 r.speedup, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}

@@ -20,6 +20,7 @@
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/env.h"
@@ -36,6 +37,7 @@ struct PerfRow {
   double events_per_sec = 0.0;
   double sim_mops = 0.0;
   uint64_t sim_ops = 0;
+  unsigned host_threads = 1;  // simulation backend threads (MUTPS_SIM_THREADS)
 };
 
 // Fixed measurement settings: large enough that per-point wall time is
@@ -72,6 +74,7 @@ PerfRow RunPoint(const char* name, TestBed& bed, const ExperimentConfig& cfg) {
       row.wall_s > 0.0 ? static_cast<double>(r.sched_events) / row.wall_s : 0.0;
   row.sim_mops = r.mops;
   row.sim_ops = r.ops;
+  row.host_threads = r.host_threads;
   std::printf("%-32s %8.3f s  %12llu events  %10.0f ev/s  %8.2f simMops\n",
               name, row.wall_s, static_cast<unsigned long long>(row.events),
               row.events_per_sec, row.sim_mops);
@@ -136,6 +139,7 @@ int main() {
   std::fprintf(f, "{\n  \"db_keys\": %llu,\n  \"seed\": %llu,\n",
                static_cast<unsigned long long>(kKeys),
                static_cast<unsigned long long>(kSeed));
+  std::fprintf(f, "  \"host_cpus\": %u,\n", std::thread::hardware_concurrency());
   std::fprintf(f, "  \"total_wall_s\": %.3f,\n  \"total_events\": %llu,\n",
                total_wall, static_cast<unsigned long long>(total_events));
   std::fprintf(f, "  \"benches\": [\n");
@@ -144,11 +148,11 @@ int main() {
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"wall_s\": %.3f, \"events\": %llu, "
                  "\"events_per_sec\": %.0f, \"sim_mops\": %.3f, "
-                 "\"sim_ops\": %llu}%s\n",
+                 "\"sim_ops\": %llu, \"host_threads\": %u}%s\n",
                  r.name.c_str(), r.wall_s,
                  static_cast<unsigned long long>(r.events), r.events_per_sec,
                  r.sim_mops, static_cast<unsigned long long>(r.sim_ops),
-                 i + 1 < rows.size() ? "," : "");
+                 r.host_threads, i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

@@ -17,6 +17,9 @@
 #                   crash + replay histories under the durability-augmented
 #                   checker across 3 fault profiles x 5 seeds x 3 commit
 #                   modes (DESIGN.md §10). Implied by MUTPS_DST=1.
+# MUTPS_TSAN=1      additionally builds the "tsan" preset (build-tsan/) and
+#                   runs the parallel-backend tests under ThreadSanitizer —
+#                   the race-freedom CI job for sim/parallel.h (DESIGN.md §11).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -41,6 +44,15 @@ fi
 rm -f /tmp/golden_rows.$$ /tmp/golden_committed.$$
 echo "=== golden rows match ==="
 
+# Parallel-backend equivalence (DESIGN.md §11): the partitioned engine must
+# reproduce the serial engine's results exactly for any host-thread count.
+# --no-tests=error so a silently unregistered test fails the stage instead of
+# vacuously passing.
+echo "=== parallel-backend equivalence (serial vs MUTPS_SIM_THREADS) ==="
+ctest --preset default -R 'par_engine_test|par_equiv_test' --no-tests=error \
+  -j "$(nproc)"
+echo "=== parallel backend matches serial ==="
+
 if [ "${MUTPS_DST_FAULTS:-0}" != "0" ] || [ "${MUTPS_DST:-0}" != "0" ]; then
   echo "=== DST fault-profile sweep (3 profiles x extra seeds) ==="
   MUTPS_DST_FAULT_SEEDS="${MUTPS_DST_FAULT_SEEDS:-12}" \
@@ -63,4 +75,14 @@ if [ "${MUTPS_DST:-0}" != "0" ]; then
   MUTPS_DST_SEEDS="${MUTPS_DST_SEEDS:-6}" \
     ctest --preset asan -R "$CHECKS" -j "$(nproc)"
   echo "=== sanitized DST sweep passed ==="
+fi
+
+if [ "${MUTPS_TSAN:-0}" != "0" ]; then
+  echo "=== parallel-backend tests under ThreadSanitizer (preset tsan) ==="
+  cmake --preset tsan >/dev/null
+  cmake --build --preset tsan --target par_engine_test par_equiv_test \
+    -j "$(nproc)"
+  ctest --preset tsan -R 'par_engine_test|par_equiv_test' --no-tests=error \
+    -j "$(nproc)"
+  echo "=== parallel backend is TSan-clean ==="
 fi

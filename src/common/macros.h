@@ -33,8 +33,12 @@
 #define UTPS_DCHECK(cond) \
   do {                    \
   } while (0)
+#define UTPS_DCHECK_MSG(cond, fmt, ...) \
+  do {                                  \
+  } while (0)
 #else
 #define UTPS_DCHECK(cond) UTPS_CHECK(cond)
+#define UTPS_DCHECK_MSG(cond, fmt, ...) UTPS_CHECK_MSG(cond, fmt, ##__VA_ARGS__)
 #endif
 
 // Invariant probes (src/check): bookkeeping that is too expensive for release

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 
+#include "common/env.h"
 #include "index/btree.h"
 #include "index/cuckoo.h"
 #include "net/rpc.h"
+#include "sim/parallel.h"
 
 namespace utps {
 
@@ -37,19 +40,27 @@ struct ClientShared {
   bool supports_scan = true;
   bool measuring = false;
   bool stop = false;
-  uint64_t ops = 0;
-  Histogram hist;
-  TimeSeries* timeline = nullptr;
   // Fault tolerance: rid-tagged timeout/retry sends (DESIGN.md §9).
   bool use_retry = false;
   std::vector<ClientRes>* res = nullptr;
+};
+
+// Client-side counters, one instance per engine partition (just one for the
+// serial backend): fibers on different host threads must not share mutable
+// accumulators. Merged after the run — sums and histogram-bucket adds are
+// commutative, so the totals are identical to a serial run's.
+struct ClientStats {
+  uint64_t ops = 0;
+  Histogram hist;
   uint64_t retries = 0;
+  TimeSeries* timeline = nullptr;
   // fig15: per-bucket latency histograms for the P99 timeline.
   std::vector<Histogram>* lat_timeline = nullptr;
   Tick lat_bucket_ns = 0;
 };
 
-Fiber ClientFiber(ExecCtx* ctx, ClientShared* sh, uint64_t id, uint64_t seed) {
+Fiber ClientFiber(ExecCtx* ctx, ClientShared* sh, ClientStats* st, uint64_t id,
+                  uint64_t seed) {
   WorkloadGenerator gen(*sh->spec, seed + id * 1000003);
   const WorkloadSpec* cur = sh->spec;
   OneShot done;
@@ -103,7 +114,7 @@ Fiber ClientFiber(ExecCtx* ctx, ClientShared* sh, uint64_t id, uint64_t seed) {
         m.gate = &gate;
         const unsigned attempts = co_await RpcCallWithRetry(
             *ctx, *sh->nic, sh->server->RingForKey(op.key), m, retry_pol);
-        sh->retries += attempts - 1;
+        st->retries += attempts - 1;
       } else {
         m.completion = &done;
         sh->nic->ClientSend(*ctx, sh->server->RingForKey(op.key), m);
@@ -113,18 +124,18 @@ Fiber ClientFiber(ExecCtx* ctx, ClientShared* sh, uint64_t id, uint64_t seed) {
     }
     const Tick lat = ctx->Now() - t0;
     if (sh->measuring) {
-      sh->ops++;
-      sh->hist.Record(lat);
+      st->ops++;
+      st->hist.Record(lat);
     }
-    if (sh->timeline != nullptr) {
-      sh->timeline->Add(ctx->Now(), 1);
+    if (st->timeline != nullptr) {
+      st->timeline->Add(ctx->Now(), 1);
     }
-    if (sh->lat_timeline != nullptr) {
-      const size_t b = static_cast<size_t>(ctx->Now() / sh->lat_bucket_ns);
-      if (b >= sh->lat_timeline->size()) {
-        sh->lat_timeline->resize(b + 1);
+    if (st->lat_timeline != nullptr) {
+      const size_t b = static_cast<size_t>(ctx->Now() / st->lat_bucket_ns);
+      if (b >= st->lat_timeline->size()) {
+        st->lat_timeline->resize(b + 1);
       }
-      (*sh->lat_timeline)[b].Record(lat);
+      (*st->lat_timeline)[b].Record(lat);
     }
   }
 }
@@ -245,7 +256,40 @@ void TestBed::BuildSherman() {
 
 ExperimentResult TestBed::Run(const ExperimentConfig& cfg) {
   UTPS_CHECK(cfg.workload.num_keys == populate_spec_.num_keys);
-  Engine eng;
+  // Backend selection (DESIGN.md §11): the serial engine is the default and
+  // reference; cfg.sim_threads or MUTPS_SIM_THREADS=N with N > 1 selects the
+  // partitioned-parallel backend (partition 0 owns the whole server machine,
+  // client fibers round-robin over partitions 1..N-1). Serial-only features
+  // force a fallback: fault injection (gates/buffers are touched from both
+  // sides of a partition boundary), observability (a single tracer/registry
+  // is written from every fiber), and passive systems (one-sided verbs run
+  // in client coroutines and mutate the NIC links and cache model directly).
+  const unsigned want =
+      cfg.sim_threads != 0
+          ? cfg.sim_threads
+          : static_cast<unsigned>(EnvInt("MUTPS_SIM_THREADS", 1));
+  const bool passive_system = cfg.system == SystemKind::kRaceHash ||
+                              cfg.system == SystemKind::kSherman;
+  const bool parallel =
+      want > 1 && !cfg.fault.enabled() && !cfg.obs.any() && !passive_system;
+  std::unique_ptr<sim::ParallelSim> psim;
+  std::unique_ptr<Engine> serial_eng;
+  if (parallel) {
+    sim::ParallelSim::Config pc;
+    pc.partitions = want;
+    pc.quantum = sim::ConservativeQuantum(nic_cfg_);
+    psim = std::make_unique<sim::ParallelSim>(pc);
+  } else {
+    serial_eng = std::make_unique<Engine>();
+  }
+  Engine& eng = parallel ? psim->engine(0) : *serial_eng;
+  const auto RunTo = [&](Tick until) {
+    if (psim != nullptr) {
+      psim->Run(until);
+    } else {
+      eng.Run(until);
+    }
+  };
   // Per-run arena for server-side structures (rings, response buffers).
   sim::Arena run_arena(512ull << 20);
   mem_->FlushAll();
@@ -340,7 +384,7 @@ ExperimentResult TestBed::Run(const ExperimentConfig& cfg) {
   }
 
   // Clients.
-  TimeSeries timeline(100 * sim::kUsec);
+  constexpr Tick kTimelineBucketNs = 100 * sim::kUsec;
   ClientShared sh;
   sh.nic = &nic;
   sh.server = server.get();
@@ -348,14 +392,25 @@ ExperimentResult TestBed::Run(const ExperimentConfig& cfg) {
   sh.spec = &cfg.workload;
   sh.supports_scan = index_type_ == IndexType::kTree &&
                      cfg.system != SystemKind::kRaceHash;
-  sh.timeline = cfg.record_timeline ? &timeline : nullptr;
   // Under faults, two-sided clients must retry (a dropped message would
   // otherwise hang the fiber). One-sided verbs model reliable RDMA.
   sh.use_retry = inj != nullptr && server != nullptr;
-  std::vector<Histogram> lat_timeline;
-  if (cfg.record_latency_timeline) {
-    sh.lat_timeline = &lat_timeline;
-    sh.lat_bucket_ns = timeline.bucket_ns();
+  // One counter block per partition hosting clients (one in serial mode).
+  const unsigned nstats = parallel ? want - 1 : 1;
+  std::vector<ClientStats> cstats(nstats);
+  std::vector<TimeSeries> part_timelines;
+  std::vector<std::vector<Histogram>> part_lat(nstats);
+  for (unsigned i = 0; i < nstats; i++) {
+    part_timelines.emplace_back(kTimelineBucketNs);
+  }
+  for (unsigned i = 0; i < nstats; i++) {
+    if (cfg.record_timeline) {
+      cstats[i].timeline = &part_timelines[i];
+    }
+    if (cfg.record_latency_timeline) {
+      cstats[i].lat_timeline = &part_lat[i];
+      cstats[i].lat_bucket_ns = kTimelineBucketNs;
+    }
   }
   const unsigned num_fibers = cfg.client_threads * cfg.pipeline_depth;
   // Gates and I/O buffers live here, not in the fiber frames: a fault plan
@@ -368,17 +423,25 @@ ExperimentResult TestBed::Run(const ExperimentConfig& cfg) {
   sh.res = &client_res;
   std::vector<ExecCtx> cli_ctxs(num_fibers);
   for (unsigned i = 0; i < num_fibers; i++) {
-    cli_ctxs[i] = ExecCtx{.eng = &eng, .mem = nullptr, .core = 0};
-    eng.Spawn(ClientFiber(&cli_ctxs[i], &sh, i, cfg.seed));
+    Engine* ceng = &eng;
+    ClientStats* st = &cstats[0];
+    if (parallel) {
+      const unsigned p = sim::ParallelSim::ClientPartition(want, i);
+      ceng = &psim->engine(p);
+      st = &cstats[p - 1];
+    }
+    cli_ctxs[i] = ExecCtx{
+        .eng = ceng, .mem = nullptr, .core = 0, .actor_id = i};
+    ceng->Spawn(ClientFiber(&cli_ctxs[i], &sh, st, i, cfg.seed));
   }
 
   // Warm up; for auto-tuned μTPS, wait until the first tuning pass finishes.
-  eng.Run(cfg.warmup_ns);
+  RunTo(cfg.warmup_ns);
   if (mutps != nullptr) {
     while (!mutps->tuned() && eng.now() < cfg.max_warmup_ns) {
-      eng.Run(eng.now() + sim::kMsec);
+      RunTo(eng.now() + sim::kMsec);
     }
-    eng.Run(eng.now() + sim::kMsec);  // settle after tuning
+    RunTo(eng.now() + sim::kMsec);  // settle after tuning
   }
 
   // Measure.
@@ -391,24 +454,34 @@ ExperimentResult TestBed::Run(const ExperimentConfig& cfg) {
   }
   sh.measuring = true;
   const Tick t0 = eng.now();
-  eng.Run(t0 + cfg.measure_ns);
+  RunTo(t0 + cfg.measure_ns);
   // Dynamic-workload phase (Figure 14): switch the spec and keep running.
   if (cfg.phase2 != nullptr) {
-    eng.Run(t0 + cfg.phase2_at_ns);
+    RunTo(t0 + cfg.phase2_at_ns);
     sh.spec = cfg.phase2;
-    eng.Run(t0 + cfg.phase2_at_ns + cfg.phase2_extra_ns);
+    RunTo(t0 + cfg.phase2_at_ns + cfg.phase2_extra_ns);
   }
   sh.measuring = false;
   const Tick t1 = eng.now();
 
+  // Merge the per-partition client counters (a single block in serial mode).
+  uint64_t total_ops = 0;
+  uint64_t total_retries = 0;
+  Histogram hist;
+  for (ClientStats& st : cstats) {
+    total_ops += st.ops;
+    total_retries += st.retries;
+    hist.Merge(st.hist);
+  }
+
   ExperimentResult res;
-  res.ops = sh.ops;
+  res.ops = total_ops;
   res.mops = t1 == t0 ? 0.0
-                      : static_cast<double>(sh.ops) * 1000.0 /
+                      : static_cast<double>(total_ops) * 1000.0 /
                             static_cast<double>(t1 - t0);
-  res.p50_ns = sh.hist.Percentile(0.5);
-  res.p99_ns = sh.hist.Percentile(0.99);
-  res.mean_ns = static_cast<Tick>(sh.hist.Mean());
+  res.p50_ns = hist.Percentile(0.5);
+  res.p99_ns = hist.Percentile(0.99);
+  res.mean_ns = static_cast<Tick>(hist.Mean());
   // Stage-attributed cache stats over the server cores.
   sim::StageCounters net{};
   sim::StageCounters idx{};
@@ -434,6 +507,10 @@ ExperimentResult TestBed::Run(const ExperimentConfig& cfg) {
     res.reconfigs = mutps->reconfig_count();
   }
   if (cfg.record_timeline) {
+    TimeSeries& timeline = part_timelines[0];
+    for (unsigned i = 1; i < nstats; i++) {
+      timeline.Merge(part_timelines[i]);
+    }
     res.timeline_bucket_ns = timeline.bucket_ns();
     for (size_t i = 0; i < timeline.NumBuckets(); i++) {
       res.timeline_mops.push_back(timeline.RateAt(i) / 1e6);
@@ -443,7 +520,7 @@ ExperimentResult TestBed::Run(const ExperimentConfig& cfg) {
     res.hot_hits = mutps->hot_hits();
     res.hot_misses = mutps->hot_misses();
   }
-  res.retries = sh.retries;
+  res.retries = total_retries;
   if (inj != nullptr) {
     res.fault_counters = inj->counters();
   }
@@ -454,7 +531,16 @@ ExperimentResult TestBed::Run(const ExperimentConfig& cfg) {
   }
   if (cfg.record_latency_timeline) {
     if (res.timeline_bucket_ns == 0) {
-      res.timeline_bucket_ns = timeline.bucket_ns();
+      res.timeline_bucket_ns = kTimelineBucketNs;
+    }
+    std::vector<Histogram>& lat_timeline = part_lat[0];
+    for (unsigned i = 1; i < nstats; i++) {
+      if (part_lat[i].size() > lat_timeline.size()) {
+        lat_timeline.resize(part_lat[i].size());
+      }
+      for (size_t b = 0; b < part_lat[i].size(); b++) {
+        lat_timeline[b].Merge(part_lat[i][b]);
+      }
     }
     for (auto& h : lat_timeline) {
       res.timeline_p99_ns.push_back(h.Percentile(0.99));
@@ -468,7 +554,7 @@ ExperimentResult TestBed::Run(const ExperimentConfig& cfg) {
   // report covers exactly the measurement window.
   if (observer != nullptr) {
     const uint64_t server_ops =
-        server != nullptr ? server->OpsCompleted() : sh.ops;
+        server != nullptr ? server->OpsCompleted() : total_ops;
     res.cycles = observer->BuildCycleReport(server_workers_ + 1, server_ops);
     if (obs::MetricsRegistry* m = observer->metrics()) {
       const Engine::Stats& es = eng.stats();
@@ -511,17 +597,20 @@ ExperimentResult TestBed::Run(const ExperimentConfig& cfg) {
 
   // Drain and shut down.
   sh.stop = true;
-  eng.Run(eng.now() + 500 * sim::kUsec);
+  RunTo(eng.now() + 500 * sim::kUsec);
   if (server != nullptr) {
     server->Stop();
   }
-  eng.Run(eng.now() + 200 * sim::kUsec);
+  RunTo(eng.now() + 200 * sim::kUsec);
   if (walm != nullptr) {
     walm->Stop();  // log-writer drains pending syncs and exits
-    eng.Run(eng.now() + 100 * sim::kUsec);
+    RunTo(eng.now() + 100 * sim::kUsec);
   }
-  res.sched_events = eng.stats().events_processed;
-  res.sched_peak_pending = eng.stats().peak_heap;
+  const Engine::Stats sched =
+      parallel ? psim->AggregateEngineStats() : eng.stats();
+  res.sched_events = sched.events_processed;
+  res.sched_peak_pending = sched.peak_heap;
+  res.host_threads = parallel ? want : 1;
   return res;
 }
 

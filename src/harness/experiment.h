@@ -83,6 +83,13 @@ struct ExperimentConfig {
   // enabled, servers log every PUT/DELETE and gate the ack per wal.mode —
   // the fig17 sweep compares sync vs group vs async commit.
   wal::WalConfig wal;
+  // Simulation backend (DESIGN.md §11). 0 = read MUTPS_SIM_THREADS from the
+  // environment; <= 1 = the serial byte-deterministic engine; N > 1 = the
+  // partitioned-parallel backend on N host threads (partition 0 owns the
+  // server, clients spread over the rest). Results are value-identical to
+  // serial for any N; runs that need serial-only machinery (faults, obs,
+  // passive one-sided systems) silently fall back to the serial engine.
+  unsigned sim_threads = 0;
 };
 
 struct ExperimentResult {
@@ -127,6 +134,10 @@ struct ExperimentResult {
   // simulator's core speed metric (see bench/selfperf.cc).
   uint64_t sched_events = 0;
   size_t sched_peak_pending = 0;
+  // Host threads the simulation actually ran on (1 = serial engine; the
+  // parallel backend reports its partition count, even when a sweep asked
+  // for more threads than the run could use).
+  unsigned host_threads = 1;
 };
 
 class TestBed {

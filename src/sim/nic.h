@@ -58,6 +58,14 @@ struct NicMessage {
   // without fault support.
   uint64_t rid = 0;
   RpcGate* gate = nullptr;
+  // Parallel backend (sim/parallel.h): sender identity for cross-partition
+  // routing. src_part names the partition whose engine owns `completion`;
+  // (issue_tick, actor, actor_seq) is the deterministic replay key under
+  // which barrier-applied sends reproduce the serial engine's send order.
+  // All zero on the serial backend.
+  uint32_t src_part = 0;
+  uint32_t actor = 0;
+  uint32_t actor_seq = 0;
 };
 
 // Per-message fault decision, produced by a NicFaultHook at send time.
@@ -143,11 +151,32 @@ class Nic {
     cli.Charge(cfg_.client_send_cpu_ns);
     msg.wire_bytes = cfg_.verb_header_bytes + 32 + msg.payload_len;
     msg.issue_tick = cli.Now();
+    if (UTPS_UNLIKELY(cli.eng != eng_)) {
+      // Parallel backend: the sender lives on another partition. Post the
+      // send to the cross-partition router WITHOUT touching any NIC state
+      // (links, rings, counters are owned by the NIC's partition); the
+      // barrier replays it through ApplyRemoteSend in serial send order.
+      msg.src_part = cli.eng->partition();
+      msg.actor = cli.actor_id;
+      msg.actor_seq = cli.send_seq++;
+      cli.eng->cross()->PostNicSend(msg.src_part, this, ring, msg);
+      return;
+    }
     if (UTPS_UNLIKELY(hook_ != nullptr)) {
       ClientSendFaulty(cli, ring, msg);
       return;
     }
-    const Tick dep = rx_link_.Depart(cli.Now(), msg.wire_bytes);
+    ApplyRemoteSend(ring, msg);
+  }
+
+  // Ingress half of a send, keyed off msg.issue_tick (== the sender's local
+  // time when it posted). For a local send this is exactly the pre-parallel
+  // inline path; for a cross-partition send it is the barrier-side replay:
+  // conservative quanta guarantee issue_tick is never behind this
+  // partition's link state, so departure/arrival arithmetic is the same as
+  // if the sender had run inline.
+  void ApplyRemoteSend(unsigned ring, NicMessage msg) {
+    const Tick dep = rx_link_.Depart(msg.issue_tick, msg.wire_bytes);
     msg.arrival_tick = dep + cfg_.rtt_ns / 2;
     rx_messages_++;
     rx_bytes_ += msg.wire_bytes;
@@ -183,6 +212,19 @@ class Nic {
     if (q.empty() || q.front().arrival_tick > now) {
       return false;
     }
+    // Serial visibility is push-order: a message becomes poppable no earlier
+    // than the event that sent it. The parallel backend pushes a whole
+    // window's sends before the server runs it (sim/parallel.h), so a poller
+    // that accumulated more than a quantum of Charge() pending inside one
+    // event could otherwise pop a message its serial twin cannot see yet.
+    // Only meaningful under event dispatch — unit tests that hand-feed the
+    // NIC without running the engine poll at an arbitrary `now`.
+    UTPS_DCHECK_MSG(eng_->stats().events_processed == 0 ||
+                        q.front().issue_tick <= eng_->now(),
+                    "PopArrived at event tick %llu would pop a message sent "
+                    "at %llu: single-event pending exceeded the quantum",
+                    static_cast<unsigned long long>(eng_->now()),
+                    static_cast<unsigned long long>(q.front().issue_tick));
     *out = std::move(q.front());
     q.pop_front();
     return true;
@@ -224,7 +266,18 @@ class Nic {
     }
     if (req.completion != nullptr) {
       const_cast<NicMessage&>(req).copy_out_len = resp_payload_len;
-      req.completion->Complete(*eng_, dep + cfg_.rtt_ns / 2);
+      const Tick at = dep + cfg_.rtt_ns / 2;
+      if (UTPS_UNLIKELY(req.src_part != eng_->partition())) {
+        // Parallel backend: the waiting client fiber lives on another
+        // partition — its OneShot must be completed against that engine.
+        // tx_messages_ (already bumped) is the emission sequence: response
+        // departures are strictly serialized by tx_link_, so this order is
+        // both deterministic and partition-count-invariant.
+        eng_->cross()->PostComplete(eng_->partition(), req.src_part,
+                                    req.completion, at, tx_messages_);
+        return;
+      }
+      req.completion->Complete(*eng_, at);
     }
   }
 

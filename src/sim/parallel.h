@@ -1,0 +1,421 @@
+// Host-parallel simulation backend: conservative-quantum partitioning of the
+// discrete-event engine across host threads (DESIGN.md §11).
+//
+// A ParallelSim owns N partitions, each an ordinary single-threaded
+// sim::Engine pinned to one host thread (partition 0 runs on the caller's
+// thread and owns the server machine — workers, NIC, cache model, WAL;
+// partitions 1..N-1 run client fibers). Virtual time advances in
+// phase-ordered windows of at most one conservative quantum (the minimum
+// cross-partition latency, NIC RTT/2 here):
+//
+//   phase A  client partitions run the window concurrently, buffering their
+//            NIC sends in per-partition mailboxes;
+//   barrier  the driver drains the mailboxes, sorts the sends into serial
+//            order, and pushes them into the server partition's NIC rings;
+//   phase B  the server partition runs the SAME window on the driver thread,
+//            buffering response completions;
+//   barrier  completions are sorted and applied to the client engines.
+//
+// Why the server runs after the clients instead of alongside them: the
+// harness's poll loops accumulate CPU cost via ExecCtx::Charge, so a server
+// event scheduled at tick p reads the receive ring at simulated time
+// p + pending — it can legitimately pop a message that was SENT after p, as
+// long as it had arrived by p + pending. Serial visibility is therefore
+// push-order (send-tick order), not arrival order, and the client->server
+// lookahead is one tick, not RTT/2. Phase ordering restores exactness: every
+// send of the window is in the server's rings, in serial order, before the
+// server executes any event of that window — exactly the serial engine's
+// visibility. The reverse direction keeps the full RTT/2 lookahead:
+// completions wake clients via tick-scheduled events at
+// at >= send_tick + quantum > window end, so applying them at the second
+// barrier is never late.
+//
+// Exactness (the cross-backend equivalence tests assert this): barrier
+// replay sorts pending interactions by (virtual time, actor id, per-actor
+// seq). The only mass tie is the initial send burst, where the serial
+// engine's dispatch order equals spawn order equals actor id; later client
+// wakeups are strictly ordered by the NIC's egress serializer. So a parallel
+// run's per-figure results (ops, Mops, P50/P99) are value-identical to the
+// serial backend for ANY partition count.
+//
+// Windows are skipped, not marched: the next target derives from the minimum
+// NextEventTick() across partitions, so idle quanta (client think time, RTT
+// gaps) cost one barrier, not thousands.
+#ifndef UTPS_SIM_PARALLEL_H_
+#define UTPS_SIM_PARALLEL_H_
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <coroutine>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/macros.h"
+#include "sim/engine.h"
+#include "sim/nic.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace utps::sim {
+
+// The conservative quantum for a NIC-connected topology: every
+// cross-partition interaction rides the NIC (send or completion), so the
+// minimum cross-partition latency is half the round trip. If server cores
+// were ever split across partitions the bound would drop to
+// MachineConfig::coherence_ns — derive from the tightest coupling in use.
+inline Tick ConservativeQuantum(const NicConfig& nic) {
+  const Tick q = nic.rtt_ns / 2;
+  return q < 1 ? 1 : q;
+}
+
+// One buffered cross-partition interaction.
+struct CrossMsg {
+  enum Kind : uint8_t {
+    kNicSend,   // client -> NIC-owning partition: replay via ApplyRemoteSend
+    kComplete,  // server -> client partition: OneShot::Complete at tick t
+    kWake,      // bare ScheduleAt on the destination engine
+  };
+  Kind kind = kNicSend;
+  uint32_t dst_part = 0;
+  unsigned ring = 0;
+  Tick t = 0;        // issue tick (kNicSend) / delivery tick (kComplete, kWake)
+  uint64_t key1 = 0; // actor id (kNicSend) / emission seq (kComplete) / caller
+  uint64_t key2 = 0; // per-actor seq (kNicSend)
+  Nic* nic = nullptr;
+  OneShot* os = nullptr;
+  std::coroutine_handle<> h{};
+  NicMessage msg;
+};
+
+// Deterministic barrier-apply order: destination-major, then the virtual-time
+// replay key. key1/key2 are partition-count-invariant (actor ids and
+// per-actor/emission sequences), so the applied order — and therefore the
+// simulation — is identical for any partition count.
+struct CrossMsgBefore {
+  bool operator()(const CrossMsg& a, const CrossMsg& b) const {
+    if (a.dst_part != b.dst_part) {
+      return a.dst_part < b.dst_part;
+    }
+    if (a.t != b.t) {
+      return a.t < b.t;
+    }
+    if (a.key1 != b.key1) {
+      return a.key1 < b.key1;
+    }
+    return a.key2 < b.key2;
+  }
+};
+
+// Bounded single-producer/single-consumer mailbox. The producer is the
+// owning partition's host thread (during a window); the consumer is the
+// driver thread (at the barrier, producers parked). The fixed-size ring is
+// lock-free; the rare overflow spills into a mutex-protected vector rather
+// than blocking the simulation mid-window. Drain preserves push order: once
+// the ring fills, every later push goes to the overflow until the next
+// barrier empties both.
+class CrossMailbox {
+ public:
+  explicit CrossMailbox(size_t slots) : buf_(slots), mask_(slots - 1) {
+    UTPS_CHECK_MSG((slots & (slots - 1)) == 0 && slots >= 2,
+                   "mailbox slots must be a power of two");
+  }
+
+  void Push(const CrossMsg& m) {
+    const size_t h = head_.load(std::memory_order_relaxed);
+    const size_t t = tail_.load(std::memory_order_acquire);
+    if (UTPS_LIKELY(h - t < buf_.size())) {
+      buf_[h & mask_] = m;
+      head_.store(h + 1, std::memory_order_release);
+      return;
+    }
+    std::lock_guard<std::mutex> g(mu_);
+    overflow_.push_back(m);
+    overflows_++;
+  }
+
+  // Barrier-side drain (producer quiescent): append everything to `out` in
+  // push order and reset.
+  void DrainTo(std::vector<CrossMsg>* out) {
+    const size_t h = head_.load(std::memory_order_acquire);
+    size_t t = tail_.load(std::memory_order_relaxed);
+    for (; t != h; t++) {
+      out->push_back(buf_[t & mask_]);
+    }
+    tail_.store(t, std::memory_order_release);
+    if (UTPS_UNLIKELY(overflows_ != 0)) {
+      std::lock_guard<std::mutex> g(mu_);
+      for (CrossMsg& m : overflow_) {
+        out->push_back(m);
+      }
+      overflow_.clear();
+    }
+  }
+
+  uint64_t overflows() const { return overflows_; }
+
+ private:
+  std::vector<CrossMsg> buf_;
+  size_t mask_;
+  alignas(64) std::atomic<size_t> head_{0};
+  alignas(64) std::atomic<size_t> tail_{0};
+  std::mutex mu_;
+  std::vector<CrossMsg> overflow_;
+  std::atomic<uint64_t> overflows_{0};
+};
+
+class ParallelSim final : public CrossRouter {
+ public:
+  struct Config {
+    unsigned partitions = 2;
+    Tick quantum = 1000;          // conservative sync quantum (>= 1)
+    size_t mailbox_slots = 4096;  // bounded ring per partition (power of two)
+  };
+
+  struct Stats {
+    uint64_t windows = 0;      // barrier rounds executed
+    uint64_t cross_msgs = 0;   // interactions applied at barriers
+    uint64_t overflows = 0;    // mailbox ring spills (mutex path taken)
+  };
+
+  explicit ParallelSim(const Config& cfg) : cfg_(cfg) {
+    UTPS_CHECK(cfg_.partitions >= 1);
+    UTPS_CHECK(cfg_.quantum >= 1);
+    parts_.reserve(cfg_.partitions);
+    for (unsigned p = 0; p < cfg_.partitions; p++) {
+      parts_.push_back(std::make_unique<Partition>(cfg_.mailbox_slots));
+      parts_[p]->eng.BindPartition(this, p);
+    }
+    for (unsigned p = 1; p < cfg_.partitions; p++) {
+      parts_[p]->thr = std::thread([this, p] { WorkerLoop(p); });
+    }
+  }
+
+  ~ParallelSim() override {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stop_ = true;
+    }
+    cv_work_.notify_all();
+    for (auto& part : parts_) {
+      if (part->thr.joinable()) {
+        part->thr.join();
+      }
+    }
+  }
+  ParallelSim(const ParallelSim&) = delete;
+  ParallelSim& operator=(const ParallelSim&) = delete;
+
+  Engine& engine(unsigned p) { return parts_[p]->eng; }
+  unsigned partitions() const { return cfg_.partitions; }
+  Tick quantum() const { return cfg_.quantum; }
+  Tick now() const { return parts_[0]->eng.now(); }
+  Stats stats() const {
+    Stats s = stats_;
+    for (const auto& part : parts_) {
+      s.overflows += part->outbox.overflows();
+    }
+    return s;
+  }
+
+  // Client placement policy shared by the harness and the tests: partition 0
+  // is the server partition; client actor `idx` round-robins over the rest.
+  static unsigned ClientPartition(unsigned partitions, unsigned idx) {
+    return partitions <= 1 ? 0 : 1 + idx % (partitions - 1);
+  }
+
+  // Scheduler totals across partitions (peak_heap is summed per-partition
+  // peaks — an upper bound on the global simultaneous pending count).
+  Engine::Stats AggregateEngineStats() const {
+    Engine::Stats s;
+    for (const auto& part : parts_) {
+      const Engine::Stats& es = part->eng.stats();
+      s.events_processed += es.events_processed;
+      s.events_scheduled += es.events_scheduled;
+      s.peak_heap += es.peak_heap;
+      s.handoffs += es.handoffs;
+    }
+    return s;
+  }
+
+  // Run every partition to virtual time `until` (inclusive, like
+  // Engine::Run): windows of at most quantum-1 ticks anchored at the
+  // earliest pending event, an epoch barrier and a mailbox drain per window.
+  void Run(Tick until) {
+    for (;;) {
+      Tick next = Engine::kNever;
+      for (auto& part : parts_) {
+        const Tick t = part->eng.NextEventTick();
+        if (t < next) {
+          next = t;
+        }
+      }
+      if (next > until) {
+        break;
+      }
+      // Window end: the last tick of the quantum-aligned window containing
+      // `next`. Every cross-partition effect produced inside the window is
+      // at >= next + quantum > target, so it lands strictly after the
+      // barrier — conservative even though Run's bound is inclusive.
+      Tick target = (next / cfg_.quantum + 1) * cfg_.quantum - 1;
+      if (target > until) {
+        target = until;
+      }
+      RunWindow(target);
+    }
+    // No pending events at <= until remain: advance every clock to `until`
+    // (matches the serial engine's post-loop `now_ = until`). Workers are
+    // parked, so the driver may touch their engines directly.
+    for (auto& part : parts_) {
+      part->eng.Run(until);
+    }
+  }
+
+  // ------------------------------------------------------------ CrossRouter
+  void PostNicSend(uint32_t src_part, Nic* nic, unsigned ring,
+                   const NicMessage& msg) override {
+    CrossMsg m;
+    m.kind = CrossMsg::kNicSend;
+    m.dst_part = nic->engine()->partition();
+    m.ring = ring;
+    m.t = msg.issue_tick;
+    m.key1 = msg.actor;
+    m.key2 = msg.actor_seq;
+    m.nic = nic;
+    m.msg = msg;
+    parts_[src_part]->outbox.Push(m);
+  }
+
+  void PostComplete(uint32_t src_part, uint32_t dst_part, OneShot* os, Tick at,
+                    uint64_t order) override {
+    CrossMsg m;
+    m.kind = CrossMsg::kComplete;
+    m.dst_part = dst_part;
+    m.t = at;
+    m.key1 = order;
+    m.os = os;
+    parts_[src_part]->outbox.Push(m);
+  }
+
+  void PostWake(uint32_t src_part, uint32_t dst_part, Tick t, uint64_t key,
+                std::coroutine_handle<> h) override {
+    CrossMsg m;
+    m.kind = CrossMsg::kWake;
+    m.dst_part = dst_part;
+    m.t = t;
+    m.key1 = key;
+    m.h = h;
+    parts_[src_part]->outbox.Push(m);
+  }
+
+ private:
+  struct Partition {
+    explicit Partition(size_t mailbox_slots) : outbox(mailbox_slots) {}
+    Engine eng;
+    CrossMailbox outbox;
+    std::thread thr;  // partitions 1..N-1; partition 0 runs on the driver
+  };
+
+  void WorkerLoop(unsigned p) {
+    uint64_t seen = 0;
+    for (;;) {
+      Tick target;
+      {
+        std::unique_lock<std::mutex> lk(mu_);
+        cv_work_.wait(lk, [&] { return stop_ || epoch_ != seen; });
+        if (stop_) {
+          break;
+        }
+        seen = epoch_;
+        target = target_;
+      }
+      parts_[p]->eng.Run(target);
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        running_--;
+        if (running_ == 0) {
+          cv_done_.notify_one();
+        }
+      }
+    }
+    // Pooled coroutine frames freed on this thread die with its TLS — return
+    // them to the host allocator first.
+    FramePool::Purge();
+  }
+
+  void RunWindow(Tick target) {
+    // Phase A: client partitions run the window concurrently.
+    if (cfg_.partitions > 1) {
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        running_ = cfg_.partitions - 1;
+        target_ = target;
+        epoch_++;
+      }
+      cv_work_.notify_all();
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_done_.wait(lk, [&] { return running_ == 0; });
+    }
+    // Barrier 1: the window's client sends reach the server partition's NIC
+    // rings, in serial order, before the server executes the window.
+    DrainAndApply(1, cfg_.partitions);
+    // Phase B: the server partition runs the same window on this thread.
+    parts_[0]->eng.Run(target);
+    // Barrier 2: completions (all at ticks > target) reach the clients
+    // before the next window starts.
+    DrainAndApply(0, 1);
+    stats_.windows++;
+  }
+
+  // Barrier body (all partitions parked, driver thread only): collect the
+  // mailboxes of partitions [first, last), order deterministically, apply to
+  // the destination engines.
+  void DrainAndApply(unsigned first, unsigned last) {
+    scratch_.clear();
+    for (unsigned p = first; p < last; p++) {
+      parts_[p]->outbox.DrainTo(&scratch_);
+    }
+    if (scratch_.empty()) {
+      return;
+    }
+    stats_.cross_msgs += scratch_.size();
+    std::stable_sort(scratch_.begin(), scratch_.end(), CrossMsgBefore{});
+    for (CrossMsg& m : scratch_) {
+      Engine& dst = parts_[m.dst_part]->eng;
+      switch (m.kind) {
+        case CrossMsg::kNicSend:
+          m.nic->ApplyRemoteSend(m.ring, m.msg);
+          break;
+        case CrossMsg::kComplete:
+          m.os->Complete(dst, m.t);
+          break;
+        case CrossMsg::kWake:
+          dst.ScheduleAt(m.t < dst.now() ? dst.now() : m.t, m.h);
+          break;
+      }
+    }
+  }
+
+  Config cfg_;
+  Stats stats_;
+  std::vector<std::unique_ptr<Partition>> parts_;
+  std::vector<CrossMsg> scratch_;
+
+  // Epoch barrier: the driver publishes (epoch_, target_), workers run their
+  // window and decrement running_; the mutex/condvar pair is also the
+  // happens-before edge that makes inter-window cross-thread state (mailbox
+  // contents, harness flags flipped between Run calls) visible.
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  uint64_t epoch_ = 0;
+  Tick target_ = 0;
+  unsigned running_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace utps::sim
+
+#endif  // UTPS_SIM_PARALLEL_H_

@@ -1,0 +1,259 @@
+// Engine-level tests for the host-parallel backend (sim/parallel.h):
+// cross-partition mailbox flooding near the quantum boundary, exact
+// serial-vs-parallel equivalence of a NIC ping/echo topology, conservative
+// window skipping, and the sealed-epoch ScheduleAt guard.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/exec.h"
+#include "sim/nic.h"
+#include "sim/parallel.h"
+#include "sim/sync.h"
+
+namespace utps::sim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Ping/echo topology: an echo server fiber polls the NIC's ring on the NIC's
+// home partition; client fibers (local in the serial run, spread over
+// partitions 1..N-1 in parallel runs) send fixed-size requests back-to-back
+// and record each completion tick. The per-client completion traces are the
+// equivalence witness: conservative sync must reproduce them exactly.
+// ---------------------------------------------------------------------------
+
+struct EchoCtl {
+  bool stop = false;
+  uint64_t served = 0;
+};
+
+Fiber EchoServer(ExecCtx* ctx, Nic* nic, EchoCtl* ctl) {
+  while (!ctl->stop) {
+    NicMessage m;
+    while (nic->PopArrived(0, ctx->Now(), &m)) {
+      ctx->Charge(20);  // parse + respond cost
+      nic->ServerSend(*ctx, m, nullptr, 16);
+      ctl->served++;
+    }
+    co_await ctx->Delay(50);
+  }
+}
+
+Fiber PingClient(ExecCtx* ctx, Nic* nic, int ops, std::vector<Tick>* done) {
+  OneShot completion;
+  for (int i = 0; i < ops; i++) {
+    NicMessage m;
+    m.h[0] = ctx->actor_id;
+    m.h[1] = static_cast<uint64_t>(i);
+    m.completion = &completion;
+    nic->ClientSend(*ctx, 0, m);
+    co_await completion.Wait(*ctx);
+    completion.Reset();
+    done->push_back(ctx->Now());
+  }
+}
+
+struct PingRun {
+  std::vector<std::vector<Tick>> traces;  // per client actor
+  uint64_t served = 0;
+  uint64_t rx_messages = 0;
+  uint64_t windows = 0;
+  uint64_t overflows = 0;
+  uint64_t cross_msgs = 0;
+};
+
+constexpr int kClients = 48;
+constexpr int kOpsPerClient = 20;
+constexpr Tick kHorizon = 2 * kMsec;
+
+// threads == 1 runs the identical topology on a single serial Engine.
+PingRun RunPing(unsigned threads, size_t mailbox_slots = 4096) {
+  PingRun out;
+  out.traces.resize(kClients);
+  std::vector<ExecCtx> ctxs(kClients + 1);
+  EchoCtl ctl;
+
+  std::unique_ptr<ParallelSim> psim;
+  std::unique_ptr<Engine> serial;
+  if (threads > 1) {
+    ParallelSim::Config pc;
+    pc.partitions = threads;
+    pc.quantum = ConservativeQuantum(NicConfig{});
+    pc.mailbox_slots = mailbox_slots;
+    psim = std::make_unique<ParallelSim>(pc);
+  } else {
+    serial = std::make_unique<Engine>();
+  }
+  Engine& eng0 = psim != nullptr ? psim->engine(0) : *serial;
+  Nic nic(&eng0, nullptr, NicConfig{}, 1);
+
+  ctxs[kClients] = ExecCtx{.eng = &eng0};
+  eng0.Spawn(EchoServer(&ctxs[kClients], &nic, &ctl));
+  for (int i = 0; i < kClients; i++) {
+    Engine* ceng = &eng0;
+    if (psim != nullptr) {
+      ceng = &psim->engine(ParallelSim::ClientPartition(threads, i));
+    }
+    ctxs[i] = ExecCtx{.eng = ceng, .actor_id = static_cast<uint32_t>(i)};
+    ceng->Spawn(PingClient(&ctxs[i], &nic, kOpsPerClient, &out.traces[i]));
+  }
+
+  if (psim != nullptr) {
+    psim->Run(kHorizon);
+    ctl.stop = true;
+    psim->Run(kHorizon + 10 * kUsec);
+    const ParallelSim::Stats ps = psim->stats();
+    out.windows = ps.windows;
+    out.overflows = ps.overflows;
+    out.cross_msgs = ps.cross_msgs;
+  } else {
+    eng0.Run(kHorizon);
+    ctl.stop = true;
+    eng0.Run(kHorizon + 10 * kUsec);
+  }
+  out.served = ctl.served;
+  out.rx_messages = nic.rx_messages();
+  return out;
+}
+
+TEST(ParEngine, PingEchoConservesMessages) {
+  const PingRun r = RunPing(3);
+  EXPECT_EQ(r.rx_messages, uint64_t{kClients} * kOpsPerClient);
+  EXPECT_EQ(r.served, uint64_t{kClients} * kOpsPerClient);
+  for (const auto& trace : r.traces) {
+    ASSERT_EQ(trace.size(), static_cast<size_t>(kOpsPerClient));
+    for (size_t i = 1; i < trace.size(); i++) {
+      EXPECT_LT(trace[i - 1], trace[i]);  // completions move forward in time
+    }
+  }
+  // Every request and every completion crossed a partition boundary.
+  EXPECT_EQ(r.cross_msgs, 2 * uint64_t{kClients} * kOpsPerClient);
+}
+
+TEST(ParEngine, ParallelMatchesSerialExactly) {
+  const PingRun serial = RunPing(1);
+  ASSERT_EQ(serial.served, uint64_t{kClients} * kOpsPerClient);
+  for (unsigned threads : {2u, 3u, 5u}) {
+    const PingRun par = RunPing(threads);
+    EXPECT_EQ(par.served, serial.served) << threads << " threads";
+    ASSERT_EQ(par.traces.size(), serial.traces.size());
+    for (int c = 0; c < kClients; c++) {
+      EXPECT_EQ(par.traces[c], serial.traces[c])
+          << "client " << c << " diverged at " << threads << " threads";
+    }
+  }
+}
+
+TEST(ParEngine, DeterministicForFixedThreadCount) {
+  const PingRun a = RunPing(4);
+  const PingRun b = RunPing(4);
+  EXPECT_EQ(a.served, b.served);
+  EXPECT_EQ(a.windows, b.windows);
+  for (int c = 0; c < kClients; c++) {
+    EXPECT_EQ(a.traces[c], b.traces[c]) << "client " << c;
+  }
+}
+
+// The initial send burst lands all clients' first requests in the same
+// quantum window: with a tiny mailbox ring the flood must spill into the
+// overflow path — and still replay in exact serial order.
+TEST(ParEngine, MailboxFloodNearQuantumBoundarySpillsAndStaysExact) {
+  const PingRun serial = RunPing(1);
+  const PingRun par = RunPing(3, /*mailbox_slots=*/8);
+  EXPECT_GT(par.overflows, 0u);
+  EXPECT_EQ(par.served, serial.served);
+  for (int c = 0; c < kClients; c++) {
+    EXPECT_EQ(par.traces[c], serial.traces[c]) << "client " << c;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Window skipping: sparse far-apart wakeups must cost barriers proportional
+// to the number of events, not to horizon / quantum.
+// ---------------------------------------------------------------------------
+
+Fiber SparseFiber(ExecCtx* ctx, int wakes, Tick gap, std::vector<Tick>* log) {
+  for (int i = 0; i < wakes; i++) {
+    co_await ctx->Delay(gap);
+    log->push_back(ctx->eng->now());
+  }
+}
+
+TEST(ParEngine, WindowsSkipIdleQuanta) {
+  ParallelSim::Config pc;
+  pc.partitions = 3;
+  pc.quantum = 1000;
+  ParallelSim psim(pc);
+  std::vector<ExecCtx> ctxs(2);
+  std::vector<Tick> log_a;
+  std::vector<Tick> log_b;
+  ctxs[0] = ExecCtx{.eng = &psim.engine(1)};
+  ctxs[1] = ExecCtx{.eng = &psim.engine(2)};
+  psim.engine(1).Spawn(SparseFiber(&ctxs[0], 5, 100 * kUsec, &log_a));
+  psim.engine(2).Spawn(SparseFiber(&ctxs[1], 5, 150 * kUsec, &log_b));
+  psim.Run(1 * kMsec);
+  ASSERT_EQ(log_a.size(), 5u);
+  ASSERT_EQ(log_b.size(), 5u);
+  EXPECT_EQ(log_a.back(), 500 * kUsec);
+  EXPECT_EQ(log_b.back(), 750 * kUsec);
+  // Naive quantum marching would need 1000 windows; event-anchored windows
+  // need one per wakeup cluster (11 events) plus the spawn window.
+  EXPECT_LT(psim.stats().windows, 20u);
+  // Clocks end at the horizon, exactly like the serial engine.
+  for (unsigned p = 0; p < 3; p++) {
+    EXPECT_EQ(psim.engine(p).now(), 1 * kMsec);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// NextEventTick and the sealed-epoch ScheduleAt guard.
+// ---------------------------------------------------------------------------
+
+TEST(ParEngine, NextEventTickReportsEarliestPendingEvent) {
+  Engine eng;
+  EXPECT_EQ(eng.NextEventTick(), Engine::kNever);
+  std::vector<Tick> log;
+  ExecCtx ctx{.eng = &eng};
+  eng.Spawn(SparseFiber(&ctx, 1, 500, &log), /*start_at=*/200);
+  EXPECT_EQ(eng.NextEventTick(), 200u);
+  eng.Run(200);  // fiber starts, parks 500ns out (ring horizon)
+  EXPECT_EQ(eng.NextEventTick(), 700u);
+  eng.Run(kSec);
+  EXPECT_EQ(eng.NextEventTick(), Engine::kNever);
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0], 700u);
+}
+
+#ifndef NDEBUG
+Fiber NopFiber() { co_return; }
+
+TEST(ParEngineDeath, ScheduleIntoSealedEpochAborts) {
+  EXPECT_DEATH(
+      {
+        Engine eng;
+        eng.Run(100);  // epochs [0, 100] are dispatched and sealed
+        Fiber f = NopFiber();
+        eng.ScheduleAt(50, f.release());
+      },
+      "sealed");
+}
+#endif
+
+// Spawn's clamp path stays legal: a start_at in the past rounds up to now
+// instead of tripping the sealed-epoch guard.
+TEST(ParEngine, SpawnInThePastClampsToNow) {
+  Engine eng;
+  eng.Run(100);
+  std::vector<Tick> log;
+  ExecCtx ctx{.eng = &eng};
+  eng.Spawn(SparseFiber(&ctx, 1, 10, &log), /*start_at=*/5);
+  eng.Run(kSec);
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0], 110u);
+}
+
+}  // namespace
+}  // namespace utps::sim

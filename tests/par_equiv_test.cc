@@ -1,0 +1,159 @@
+// Cross-backend equivalence: full harness runs on the partitioned-parallel
+// simulation backend must be value-identical to the serial engine — same ops,
+// same simulated Mops, same latency percentiles — for every host-thread
+// count, and byte-identical (as formatted result rows) across repeats of the
+// same thread count. Exercised on reduced fig07 (tree, 64 B, YCSB-A, three
+// systems) and fig12 (hash, 8 B, MR batching) configurations.
+//
+// Every run gets a FRESH TestBed: a run mutates the populated database
+// (YCSB-A updates), so back-to-back runs on a shared bed differ by design —
+// on the serial backend too. Identical bed + identical config is the
+// equivalence contract.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "harness/experiment.h"
+#include "workload/workload.h"
+
+namespace utps {
+namespace {
+
+constexpr uint64_t kKeys = 20000;
+constexpr uint64_t kSeed = 42;
+
+ExperimentConfig SmallConfig(SystemKind system, const WorkloadSpec& spec,
+                             unsigned sim_threads) {
+  ExperimentConfig cfg;
+  cfg.system = system;
+  cfg.workload = spec;
+  cfg.client_threads = 16;
+  cfg.pipeline_depth = 4;
+  cfg.seed = kSeed;
+  cfg.warmup_ns = 200 * sim::kUsec;
+  cfg.measure_ns = 500 * sim::kUsec;
+  cfg.max_warmup_ns = 5 * sim::kMsec;
+  cfg.mutps.autotune = false;
+  cfg.sim_threads = sim_threads;
+  return cfg;
+}
+
+// Everything a figure row is built from, in fixed-precision text so that
+// "byte-identical rows" is literally a string comparison.
+std::string Row(const ExperimentResult& r) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "ops=%llu mops=%.6f p50=%llu p99=%llu mean=%llu retries=%llu",
+                static_cast<unsigned long long>(r.ops), r.mops,
+                static_cast<unsigned long long>(r.p50_ns),
+                static_cast<unsigned long long>(r.p99_ns),
+                static_cast<unsigned long long>(r.mean_ns),
+                static_cast<unsigned long long>(r.retries));
+  return buf;
+}
+
+// One harness point on a fresh bed. `mutate` tweaks the config after the
+// backend choice is applied (batch size, recorder flags, ...).
+ExperimentResult RunFresh(IndexType index, SystemKind system,
+                          const WorkloadSpec& spec, unsigned sim_threads,
+                          void (*mutate)(ExperimentConfig*) = nullptr) {
+  TestBed bed(index, spec);
+  ExperimentConfig cfg = SmallConfig(system, spec, sim_threads);
+  if (mutate != nullptr) {
+    mutate(&cfg);
+  }
+  return bed.Run(cfg);
+}
+
+void ExpectBackendsAgree(IndexType index, SystemKind system,
+                         const WorkloadSpec& spec, const char* label,
+                         void (*mutate)(ExperimentConfig*) = nullptr) {
+  const ExperimentResult serial = RunFresh(index, system, spec, 1, mutate);
+  EXPECT_EQ(serial.host_threads, 1u) << label;
+  EXPECT_GT(serial.ops, 0u) << label;
+  for (unsigned threads : {2u, 4u, 8u}) {
+    const ExperimentResult par =
+        RunFresh(index, system, spec, threads, mutate);
+    EXPECT_EQ(par.host_threads, threads) << label << " threads=" << threads;
+    EXPECT_EQ(Row(par), Row(serial)) << label << " threads=" << threads;
+  }
+}
+
+TEST(ParEquiv, Fig07TreeYcsbaMuTps) {
+  ExpectBackendsAgree(IndexType::kTree, SystemKind::kMuTps,
+                      WorkloadSpec::YcsbA(kKeys, 64), "fig07_mutps");
+}
+
+TEST(ParEquiv, Fig07TreeYcsbaBaseKv) {
+  ExpectBackendsAgree(IndexType::kTree, SystemKind::kBaseKv,
+                      WorkloadSpec::YcsbA(kKeys, 64), "fig07_basekv");
+}
+
+TEST(ParEquiv, Fig07TreeYcsbaErpcKv) {
+  ExpectBackendsAgree(IndexType::kTree, SystemKind::kErpcKv,
+                      WorkloadSpec::YcsbA(kKeys, 64), "fig07_erpckv");
+}
+
+TEST(ParEquiv, Fig12HashBatchingMatchesSerial) {
+  ExpectBackendsAgree(IndexType::kHash, SystemKind::kMuTps,
+                      WorkloadSpec::YcsbA(kKeys, 8), "fig12_batch8",
+                      [](ExperimentConfig* cfg) { cfg->mutps.batch_size = 8; });
+}
+
+TEST(ParEquiv, RepeatRunsAreByteIdentical) {
+  const WorkloadSpec ycsba = WorkloadSpec::YcsbA(kKeys, 64);
+  const ExperimentResult a =
+      RunFresh(IndexType::kTree, SystemKind::kMuTps, ycsba, 4);
+  const ExperimentResult b =
+      RunFresh(IndexType::kTree, SystemKind::kMuTps, ycsba, 4);
+  EXPECT_EQ(Row(a), Row(b));
+  EXPECT_EQ(a.sched_events, b.sched_events);
+}
+
+TEST(ParEquiv, TimelinesMergeAcrossPartitions) {
+  const WorkloadSpec ycsba = WorkloadSpec::YcsbA(kKeys, 64);
+  const auto recorders = [](ExperimentConfig* cfg) {
+    cfg->record_timeline = true;
+    cfg->record_latency_timeline = true;
+  };
+  const ExperimentResult serial =
+      RunFresh(IndexType::kTree, SystemKind::kMuTps, ycsba, 1, recorders);
+  const ExperimentResult par =
+      RunFresh(IndexType::kTree, SystemKind::kMuTps, ycsba, 4, recorders);
+  ASSERT_GT(serial.timeline_mops.size(), 0u);
+  EXPECT_EQ(par.timeline_bucket_ns, serial.timeline_bucket_ns);
+  EXPECT_EQ(par.timeline_mops, serial.timeline_mops);
+  EXPECT_EQ(par.timeline_p99_ns, serial.timeline_p99_ns);
+}
+
+// MUTPS_SIM_THREADS selects the backend when the config leaves it at 0
+// (the path run_benches.sh and the figure binaries use).
+TEST(ParEquiv, EnvVarSelectsBackend) {
+  const WorkloadSpec ycsba = WorkloadSpec::YcsbA(kKeys, 64);
+  const ExperimentResult serial =
+      RunFresh(IndexType::kTree, SystemKind::kMuTps, ycsba, 1);
+  ::setenv("MUTPS_SIM_THREADS", "3", 1);
+  const ExperimentResult par =
+      RunFresh(IndexType::kTree, SystemKind::kMuTps, ycsba, 0);
+  ::unsetenv("MUTPS_SIM_THREADS");
+  EXPECT_EQ(par.host_threads, 3u);
+  EXPECT_EQ(Row(par), Row(serial));
+}
+
+// One-sided passive systems run their verbs inside client coroutines that
+// touch server memory directly; they must silently fall back to serial.
+TEST(ParEquiv, PassiveSystemsFallBackToSerial) {
+  const WorkloadSpec ycsbc = WorkloadSpec::YcsbC(kKeys, 64);
+  const auto depth2 = [](ExperimentConfig* cfg) { cfg->pipeline_depth = 2; };
+  const ExperimentResult serial =
+      RunFresh(IndexType::kHash, SystemKind::kRaceHash, ycsbc, 1, depth2);
+  const ExperimentResult par =
+      RunFresh(IndexType::kHash, SystemKind::kRaceHash, ycsbc, 4, depth2);
+  EXPECT_EQ(par.host_threads, 1u);
+  EXPECT_EQ(Row(par), Row(serial));
+}
+
+}  // namespace
+}  // namespace utps
