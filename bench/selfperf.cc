@@ -38,6 +38,7 @@ struct PerfRow {
   double sim_mops = 0.0;
   uint64_t sim_ops = 0;
   unsigned host_threads = 1;  // simulation backend threads (MUTPS_SIM_THREADS)
+  uint64_t sched_clamps = 0;  // ScheduleAt past-deadline clamps (bug detector)
 };
 
 // Fixed measurement settings: large enough that per-point wall time is
@@ -75,9 +76,12 @@ PerfRow RunPoint(const char* name, TestBed& bed, const ExperimentConfig& cfg) {
   row.sim_mops = r.mops;
   row.sim_ops = r.ops;
   row.host_threads = r.host_threads;
-  std::printf("%-32s %8.3f s  %12llu events  %10.0f ev/s  %8.2f simMops\n",
-              name, row.wall_s, static_cast<unsigned long long>(row.events),
-              row.events_per_sec, row.sim_mops);
+  row.sched_clamps = r.sched_clamps;
+  std::printf(
+      "%-32s %8.3f s  %12llu events  %10.0f ev/s  %8.2f simMops  %llu clamps\n",
+      name, row.wall_s, static_cast<unsigned long long>(row.events),
+      row.events_per_sec, row.sim_mops,
+      static_cast<unsigned long long>(row.sched_clamps));
   std::fflush(stdout);
   return row;
 }
@@ -148,11 +152,13 @@ int main() {
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"wall_s\": %.3f, \"events\": %llu, "
                  "\"events_per_sec\": %.0f, \"sim_mops\": %.3f, "
-                 "\"sim_ops\": %llu, \"host_threads\": %u}%s\n",
+                 "\"sim_ops\": %llu, \"host_threads\": %u, "
+                 "\"sched_clamps\": %llu}%s\n",
                  r.name.c_str(), r.wall_s,
                  static_cast<unsigned long long>(r.events), r.events_per_sec,
                  r.sim_mops, static_cast<unsigned long long>(r.sim_ops),
-                 r.host_threads, i + 1 < rows.size() ? "," : "");
+                 r.host_threads, static_cast<unsigned long long>(r.sched_clamps),
+                 i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

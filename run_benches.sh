@@ -35,6 +35,7 @@ for b in build/bench/*; do
   case "$name" in
     selfperf) continue ;;  # host-perf tracker, run separately below
     fig18_parallel_sim) continue ;;  # host-thread sweep, run separately below
+    fig16_at_scale) continue ;;  # 10M-key sampled sweep, run separately below
     micro_components) continue ;;  # google-benchmark micro bench, not a figure
   esac
   echo "=== $name ($(date +%H:%M:%S)) ==="
@@ -76,3 +77,10 @@ MUTPS_SIM_THREADS=4 MUTPS_SIMPERF_OUT=results/BENCH_simperf_par4.json \
 echo "=== fig18_parallel_sim ($(date +%H:%M:%S)) ==="
 MUTPS_PARSIM_OUT=results/BENCH_parsim.json ./build/bench/fig18_parallel_sim \
   2>&1 | tee results/fig18_parallel_sim.txt
+
+# Million-user-scale sweep via sampled simulation (DESIGN.md §12): 10M keys,
+# 2048 closed-loop clients, extrapolated throughput +/- CI95. Validated by
+# sample_equiv_test (<= 5% error vs full detail at testable scale).
+echo "=== fig16_at_scale ($(date +%H:%M:%S)) ==="
+MUTPS_ATSCALE_OUT=results/BENCH_atscale.json ./build/bench/fig16_at_scale \
+  2>&1 | tee results/fig16_at_scale.txt

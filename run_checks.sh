@@ -53,6 +53,15 @@ ctest --preset default -R 'par_engine_test|par_equiv_test' --no-tests=error \
   -j "$(nproc)"
 echo "=== parallel backend matches serial ==="
 
+# Sampled-simulation validation (DESIGN.md §12): extrapolated estimates must
+# stay within the 5% error bound of full-detail runs, and sampled rows must
+# be byte-deterministic per (seed, window plan) — in-process, in a fresh
+# subprocess, and across backends. --no-tests=error as above.
+echo "=== MUTPS_SAMPLE validation (error bound + determinism) ==="
+ctest --preset default -R 'sample_equiv_test|sample_determinism_test' \
+  --no-tests=error -j "$(nproc)"
+echo "=== sampled mode within bound and deterministic ==="
+
 if [ "${MUTPS_DST_FAULTS:-0}" != "0" ] || [ "${MUTPS_DST:-0}" != "0" ]; then
   echo "=== DST fault-profile sweep (3 profiles x extra seeds) ==="
   MUTPS_DST_FAULT_SEEDS="${MUTPS_DST_FAULT_SEEDS:-12}" \

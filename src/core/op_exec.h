@@ -25,6 +25,11 @@ inline sim::Task<uint32_t> ExecGet(sim::ExecCtx& ctx, const ServerEnv& env, Key 
   }
   sim::StageScope s(ctx, sim::Stage::kData);
   const uint32_t len = co_await ItemRead(ctx, it, resp);
+  if (UTPS_UNLIKELY(ctx.FastForward())) {
+    // Functional mode: the response bytes are already in place; skip the
+    // modeled staging write (a timing hook, not a state mutation).
+    co_return len;
+  }
   co_await ctx.Write(resp, len);
   co_return len;
 }
@@ -40,7 +45,9 @@ inline sim::Task<void> ExecPut(sim::ExecCtx& ctx, const ServerEnv& env, Key key,
     it = co_await env.index->CoGet(ctx, key);
   }
   sim::StageScope s(ctx, sim::Stage::kData);
-  co_await ctx.Read(payload, len);  // fetch the new value from the rx buffer
+  if (!ctx.FastForward()) {
+    co_await ctx.Read(payload, len);  // fetch the new value from the rx buffer
+  }
   if (it != nullptr && len <= it->capacity) {
     if (unsynchronized) {
       co_await ItemWriteUnsynchronized(ctx, it, payload, len);

@@ -15,6 +15,9 @@
 //                      fault/fault.h for the full token list
 //   MUTPS_WAL          durability profile, e.g. "mode:group,windowus:2" —
 //                      see wal/wal.h for the full token list
+//   MUTPS_SAMPLE       sampled-simulation profile, e.g.
+//                      "on,period=1000000,window=120000,plan=random,seed=3" —
+//                      see sim/sample.h for the full token list
 #ifndef UTPS_HARNESS_BENCH_UTIL_H_
 #define UTPS_HARNESS_BENCH_UTIL_H_
 
@@ -67,6 +70,8 @@ inline ExperimentConfig StdConfig(SystemKind system, const WorkloadSpec& spec) {
   cfg.fault = fault::FaultFromEnv();
   // Durability profile from MUTPS_WAL (empty: disabled; see wal/wal.h).
   cfg.wal = wal::WalFromEnv();
+  // Sampled-simulation profile from MUTPS_SAMPLE (empty: full detail).
+  cfg.sample = sim::SampleFromEnv();
   // Observability knobs (all default-off; see obs/obs.h).
   cfg.obs.trace_path = EnvStr("MUTPS_TRACE", "");
   cfg.obs.trace = !cfg.obs.trace_path.empty();

@@ -9,6 +9,7 @@
 #include "index/cuckoo.h"
 #include "net/rpc.h"
 #include "sim/parallel.h"
+#include "stats/streaming.h"
 
 namespace utps {
 
@@ -452,16 +453,80 @@ ExperimentResult TestBed::Run(const ExperimentConfig& cfg) {
   if (observer != nullptr) {
     observer->ResetCycles();  // cycle accounting covers the window only
   }
-  sh.measuring = true;
+  const bool sampled = cfg.sample.enabled;
   const Tick t0 = eng.now();
-  RunTo(t0 + cfg.measure_ns);
-  // Dynamic-workload phase (Figure 14): switch the spec and keep running.
-  if (cfg.phase2 != nullptr) {
-    RunTo(t0 + cfg.phase2_at_ns);
-    sh.spec = cfg.phase2;
-    RunTo(t0 + cfg.phase2_at_ns + cfg.phase2_extra_ns);
+  stats::StreamingCi win_rate;  // per-window throughput observations (Mops)
+  Tick detail_ns = 0;
+  if (sampled) {
+    // Sampled simulation (DESIGN.md §12): alternate functional fast-forward
+    // segments with detailed windows placed by the seeded plan. The window
+    // plan is a pure function of (sample config, period index), so the whole
+    // measure phase is deterministic and backend-invariant: every mode flip
+    // and counter read happens between RunTo calls, which is exactly the
+    // boundary the parallel backend publishes harness state across.
+    UTPS_CHECK(cfg.phase2 == nullptr);  // phase switch would race the plan
+    const sim::SampleConfig& sc = cfg.sample;
+    UTPS_CHECK(sc.period_ns >= sc.DetailPerPeriod());
+    const Tick end = t0 + cfg.measure_ns;
+    const auto OpsNow = [&cstats] {
+      uint64_t s = 0;
+      for (const ClientStats& st : cstats) {
+        s += st.ops;
+      }
+      return s;
+    };
+    uint64_t period = 0;
+    for (Tick pstart = t0; pstart < end; pstart += sc.period_ns, period++) {
+      const Tick pend = std::min(pstart + sc.period_ns, end);
+      const Tick dstart = pstart + sim::SampleWindowOffset(sc, period);
+      const Tick wstart = dstart + sc.rewarm_ns;
+      const Tick wend = wstart + sc.window_ns;
+      if (wend > pend) {
+        // Tail period too short for a full window: fast-forward through it
+        // rather than biasing the estimate with a truncated sample.
+        mem_->SetFastForward(true);
+        RunTo(pend);
+        continue;
+      }
+      mem_->SetFastForward(true);
+      RunTo(dstart);
+      // Rewarm prefix: detailed but unmeasured — absorbs cache re-warm and
+      // drains requests issued under functional costs. The biased negative-
+      // control plan skips the switch and "measures" functional execution.
+      if (sc.plan != sim::SamplePlan::kBiased) {
+        mem_->SetFastForward(false);
+      }
+      RunTo(wstart);
+      const uint64_t before = OpsNow();
+      sh.measuring = true;
+      RunTo(wend);
+      sh.measuring = false;
+      const uint64_t delta = OpsNow() - before;
+      if (EnvInt("MUTPS_SAMPLE_DEBUG", 0) != 0) {
+        std::fprintf(stderr, "sample window %llu: [%llu, %llu) ops=%llu\n",
+                     static_cast<unsigned long long>(period),
+                     static_cast<unsigned long long>(wstart),
+                     static_cast<unsigned long long>(wend),
+                     static_cast<unsigned long long>(delta));
+      }
+      win_rate.Add(static_cast<double>(delta) * 1000.0 /
+                   static_cast<double>(sc.window_ns));
+      detail_ns += sc.window_ns;
+      mem_->SetFastForward(true);
+      RunTo(pend);
+    }
+    mem_->SetFastForward(false);  // drain and shutdown run fully detailed
+  } else {
+    sh.measuring = true;
+    RunTo(t0 + cfg.measure_ns);
+    // Dynamic-workload phase (Figure 14): switch the spec and keep running.
+    if (cfg.phase2 != nullptr) {
+      RunTo(t0 + cfg.phase2_at_ns);
+      sh.spec = cfg.phase2;
+      RunTo(t0 + cfg.phase2_at_ns + cfg.phase2_extra_ns);
+    }
+    sh.measuring = false;
   }
-  sh.measuring = false;
   const Tick t1 = eng.now();
 
   // Merge the per-partition client counters (a single block in serial mode).
@@ -479,6 +544,16 @@ ExperimentResult TestBed::Run(const ExperimentConfig& cfg) {
   res.mops = t1 == t0 ? 0.0
                       : static_cast<double>(total_ops) * 1000.0 /
                             static_cast<double>(t1 - t0);
+  if (sampled) {
+    // Extrapolation: mean per-window rate projects onto the full interval;
+    // P50/P99 come from the merged in-window histograms below.
+    res.sampled = true;
+    res.est_mops = win_rate.Mean();
+    res.est_mops_ci95 = win_rate.Ci95();
+    res.detail_windows = win_rate.Count();
+    res.detail_ns = detail_ns;
+    res.mops = res.est_mops;
+  }
   res.p50_ns = hist.Percentile(0.5);
   res.p99_ns = hist.Percentile(0.99);
   res.mean_ns = static_cast<Tick>(hist.Mean());
@@ -610,6 +685,7 @@ ExperimentResult TestBed::Run(const ExperimentConfig& cfg) {
       parallel ? psim->AggregateEngineStats() : eng.stats();
   res.sched_events = sched.events_processed;
   res.sched_peak_pending = sched.peak_heap;
+  res.sched_clamps = sched.sealed_clamps;
   res.host_threads = parallel ? want : 1;
   return res;
 }

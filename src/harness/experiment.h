@@ -22,6 +22,7 @@
 #include "core/server.h"
 #include "fault/fault.h"
 #include "obs/obs.h"
+#include "sim/sample.h"
 #include "stats/histogram.h"
 #include "stats/timeseries.h"
 #include "wal/wal.h"
@@ -90,6 +91,14 @@ struct ExperimentConfig {
   // serial for any N; runs that need serial-only machinery (faults, obs,
   // passive one-sided systems) silently fall back to the serial engine.
   unsigned sim_threads = 0;
+  // Sampled simulation (DESIGN.md §12). Disabled by default; a run with
+  // sample.enabled == false is byte-identical to a build without sampling.
+  // When enabled, the measurement interval alternates functional
+  // fast-forward segments with seeded detailed windows, and throughput/tail
+  // latency are extrapolated from the windows (est fields + CI95 in the
+  // result). Composes with the parallel backend; incompatible with phase2
+  // (the phase switch would race the window plan).
+  sim::SampleConfig sample;
 };
 
 struct ExperimentResult {
@@ -134,6 +143,18 @@ struct ExperimentResult {
   // simulator's core speed metric (see bench/selfperf.cc).
   uint64_t sched_events = 0;
   size_t sched_peak_pending = 0;
+  // ScheduleAt calls that had to clamp a past deadline to now (release
+  // builds; debug DCHECKs instead). Nonzero means a scheduling bug.
+  uint64_t sched_clamps = 0;
+  // Sampled-simulation outputs (sampled == cfg.sample.enabled). In sampled
+  // mode `mops`/`p50_ns`/`p99_ns` are the extrapolated estimates (from the
+  // detailed windows only) and est_mops_ci95 is the 95% confidence
+  // half-width of the throughput estimate across windows.
+  bool sampled = false;
+  double est_mops = 0.0;
+  double est_mops_ci95 = 0.0;
+  uint64_t detail_windows = 0;   // windows that contributed measurements
+  sim::Tick detail_ns = 0;       // total measured (in-window) virtual time
   // Host threads the simulation actually ran on (1 = serial engine; the
   // parallel backend reports its partition count, even when a sweep asked
   // for more threads than the run could use).

@@ -155,6 +155,18 @@ class MemoryModel {
   }
   unsigned StolenWays() const { return __builtin_popcount(stolen_mask_); }
 
+  // ------------------------------------------------------- fast-forward mode
+  // Sampled-simulation switch (DESIGN.md §12): while set, the machine runs
+  // functionally — ExecCtx charges flat costs without consulting the model,
+  // and IoWrite/IoRead below return flat DMA costs without probing or
+  // mutating any tag, recency order, or counter. Freezing (rather than
+  // flushing) the tag state is what carries the warmed cache across mode
+  // switches: the next detailed window resumes from the tags exactly as the
+  // last one left them. Off (the default) is byte-identical to a build
+  // without the flag.
+  void SetFastForward(bool on) { fast_forward_ = on; }
+  bool fast_forward() const { return fast_forward_; }
+
   // --------------------------------------------------------------- CPU side
   // Models one access of `len` bytes at `addr` by `core` under `clos`.
   // Multi-line accesses charge full latency for the first line and a
@@ -187,6 +199,9 @@ class MemoryModel {
     const uintptr_t a = reinterpret_cast<uintptr_t>(addr);
     uint64_t first = a >> 6;
     uint64_t last = (a + (len == 0 ? 0 : len - 1)) >> 6;
+    if (UTPS_UNLIKELY(fast_forward_)) {
+      return static_cast<Tick>(last - first + 1) * cfg_.llc_hit_ns;
+    }
     Tick total = 0;
     for (uint64_t line = first; line <= last; line++) {
       total += IoWriteLine(line);
@@ -199,6 +214,9 @@ class MemoryModel {
     const uintptr_t a = reinterpret_cast<uintptr_t>(addr);
     uint64_t first = a >> 6;
     uint64_t last = (a + (len == 0 ? 0 : len - 1)) >> 6;
+    if (UTPS_UNLIKELY(fast_forward_)) {
+      return static_cast<Tick>(last - first + 1) * cfg_.llc_hit_ns;
+    }
     Tick total = 0;
     for (uint64_t line = first; line <= last; line++) {
       unsigned way;
@@ -581,6 +599,7 @@ class MemoryModel {
 
   uint32_t clos_masks_[kMaxClos] = {};
   uint32_t stolen_mask_ = 0;  // LLC ways held by a simulated noisy neighbor
+  bool fast_forward_ = false;  // sampled simulation: functional mode active
   std::vector<CoreCounters> counters_;
   uint64_t io_writes_ = 0;
   uint64_t io_write_misses_ = 0;

@@ -133,6 +133,8 @@ class Engine {
     uint64_t events_scheduled = 0;
     size_t peak_heap = 0;           // max simultaneous pending events
     uint64_t handoffs = 0;          // dispatches via symmetric transfer
+    uint64_t sealed_clamps = 0;     // ScheduleAt(t < now) clamped to now
+                                    // (release builds only; debug DCHECKs)
   };
 
   // Schedule-perturbation hook (DST harness, tests/dst). Under a seed, the
@@ -184,7 +186,11 @@ class Engine {
                     static_cast<unsigned long long>(t),
                     static_cast<unsigned long long>(now_), part_);
     if (UTPS_UNLIKELY(t < now_)) {
-      t = now_;  // release-build safety: the ring cannot represent the past
+      // Release-build safety: the ring cannot represent the past. Counted so
+      // scheduling bugs that only DCHECK in debug stay visible in release
+      // (selfperf surfaces the counter in its result rows).
+      stats_.sealed_clamps++;
+      t = now_;
     }
     stats_.events_scheduled++;
     const uint64_t seq = seq_;

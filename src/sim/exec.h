@@ -103,9 +103,23 @@ struct ExecCtx {
     }
   }
 
+  // True while the sampled-simulation engine runs this machine functionally
+  // (DESIGN.md §12): accesses charge flat costs and never touch the cache
+  // model, so its tags stay warm for the next detailed window. Client-node
+  // contexts (mem == nullptr) already use flat costs and are unaffected.
+  bool FastForward() const { return mem != nullptr && mem->fast_forward(); }
+
   // Modeled memory access. Suspends on anything beyond a private-cache hit.
   SuspendAwaiter Access(const void* p, size_t len, bool write, bool rmw = false) {
     if (mem == nullptr) {
+      const size_t lines = 1 + (len == 0 ? 0 : (len - 1) / kCachelineBytes);
+      Charge(flat_line_ns * lines + (rmw ? 10 : 0));
+      return MaybeFast();
+    }
+    if (UTPS_UNLIKELY(mem->fast_forward())) {
+      // Functional mode: flat per-line cost, no tag/counter mutation, no
+      // modeled stall. The fairness guard in MaybeFast still forces periodic
+      // suspensions, so fibers keep interleaving and virtual time advances.
       const size_t lines = 1 + (len == 0 ? 0 : (len - 1) / kCachelineBytes);
       Charge(flat_line_ns * lines + (rmw ? 10 : 0));
       return MaybeFast();

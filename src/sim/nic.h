@@ -115,6 +115,21 @@ class LinkSerializer {
     return dep;
   }
 
+  // Functional fast-forward (DESIGN.md §12): departure without token-bucket
+  // accounting. Clamping to next_free_ keeps departures monotonic across a
+  // detailed-to-functional mode switch, and the 1 ns bump keeps per-link
+  // departures STRICTLY increasing — the property the parallel backend's
+  // deterministic replay relies on (same-tick deliveries to different
+  // partitions would tie, and serial insertion order and the (t, actor, seq)
+  // replay key break ties differently). Messages flow far slower than
+  // 1/ns, so unlike the token buckets this accrues no link debt for the
+  // next detailed window.
+  Tick Pass(Tick now) {
+    const Tick dep = now > next_free_ ? now : next_free_;
+    next_free_ = dep + 1;
+    return dep;
+  }
+
   void Reset() {
     next_free_ = 0;
     frac_ = 0.0;
@@ -176,7 +191,12 @@ class Nic {
   // partition's link state, so departure/arrival arithmetic is the same as
   // if the sender had run inline.
   void ApplyRemoteSend(unsigned ring, NicMessage msg) {
-    const Tick dep = rx_link_.Depart(msg.issue_tick, msg.wire_bytes);
+    // Fast-forward bypasses the token buckets but keeps the RTT/2 delivery
+    // delay: the parallel backend's conservative quantum is exactly RTT/2, so
+    // the minimum cross-partition latency must survive mode switches.
+    const Tick dep = UTPS_UNLIKELY(FastForward())
+                         ? rx_link_.Pass(msg.issue_tick)
+                         : rx_link_.Depart(msg.issue_tick, msg.wire_bytes);
     msg.arrival_tick = dep + cfg_.rtt_ns / 2;
     rx_messages_++;
     rx_bytes_ += msg.wire_bytes;
@@ -255,7 +275,9 @@ class Nic {
       ServerSendFaulty(srv, req, resp_src, resp_payload_len, bytes);
       return;
     }
-    const Tick dep = tx_link_.Depart(srv.Now(), bytes);
+    const Tick dep = UTPS_UNLIKELY(FastForward())
+                         ? tx_link_.Pass(srv.Now())
+                         : tx_link_.Depart(srv.Now(), bytes);
     tx_messages_++;
     tx_bytes_ += bytes;
     if (req.copy_out != nullptr && resp_src != nullptr) {
@@ -398,6 +420,12 @@ class Nic {
   Engine* engine() const { return eng_; }
 
  private:
+  // Sampled-simulation functional mode (DESIGN.md §12): the cache model's
+  // fast-forward flag is the single mode switch for the whole machine; the
+  // NIC reads it through its mem_ pointer. The fault path (hook_ != nullptr)
+  // deliberately ignores it — fault schedules stay fully modeled.
+  bool FastForward() const { return mem_ != nullptr && mem_->fast_forward(); }
+
   // Sorted insert by arrival tick: fault delays/duplicates can reorder
   // deliveries relative to send order, but the queue itself stays ordered.
   void InsertArrival(unsigned ring, const NicMessage& msg) {

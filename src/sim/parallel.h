@@ -236,6 +236,7 @@ class ParallelSim final : public CrossRouter {
       s.events_scheduled += es.events_scheduled;
       s.peak_heap += es.peak_heap;
       s.handoffs += es.handoffs;
+      s.sealed_clamps += es.sealed_clamps;
     }
     return s;
   }

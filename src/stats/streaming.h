@@ -1,0 +1,65 @@
+// Streaming confidence-interval accumulator for sampled simulation
+// (DESIGN.md §12). Welford's online algorithm gives numerically stable mean
+// and variance over the per-window observations; the 95% CI half-width uses
+// Student's t critical values since sampled runs typically collect a small
+// number of windows (5-30).
+#ifndef UTPS_STATS_STREAMING_H_
+#define UTPS_STATS_STREAMING_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace utps::stats {
+
+// Two-sided 95% Student-t critical value for `df` degrees of freedom.
+// Exact table entries for small df (where it matters), normal limit beyond.
+inline double StudentT95(uint64_t df) {
+  static constexpr double kTable[] = {
+      0,      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+      2.228,  2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093,
+      2.086,  2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045,
+      2.042};
+  if (df == 0) {
+    return 0.0;
+  }
+  if (df <= 30) {
+    return kTable[df];
+  }
+  return 1.960;
+}
+
+class StreamingCi {
+ public:
+  void Add(double x) {
+    n_++;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+  }
+
+  uint64_t Count() const { return n_; }
+  double Mean() const { return mean_; }
+
+  double Variance() const {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+  }
+
+  // Half-width of the 95% confidence interval of the mean. Zero until two
+  // observations exist (one window gives a point estimate, not an interval).
+  double Ci95() const {
+    if (n_ < 2) {
+      return 0.0;
+    }
+    const double sem = std::sqrt(Variance() / static_cast<double>(n_));
+    return StudentT95(n_ - 1) * sem;
+  }
+
+ private:
+  uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace utps::stats
+
+#endif  // UTPS_STATS_STREAMING_H_

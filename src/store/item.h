@@ -57,6 +57,22 @@ inline void ResetItemContention() {
 // Reads the item's value into dst (which must have room for value_len bytes).
 // Lock-free, retries while a writer is active. Returns the value length.
 inline sim::Task<uint32_t> ItemRead(sim::ExecCtx& ctx, const Item* it, void* dst) {
+  if (UTPS_UNLIKELY(ctx.FastForward())) {
+    // Functional apply (DESIGN.md §12): one flat-charged access, then a
+    // synchronous copy. The seqlock protocol is still honored — a detailed
+    // writer parked odd across the mode switch forces a wait — and because
+    // no suspension separates the parity check from the memcpy, the copy can
+    // never be torn by another fiber.
+    for (;;) {
+      co_await ctx.Read(&it->ctrl, sizeof(Item) + it->value_len);
+      if ((it->ctrl & 1) == 0) {
+        const uint32_t len = it->value_len;
+        std::memcpy(dst, it->value(), len);
+        co_return len;
+      }
+      co_await ctx.Delay(30);
+    }
+  }
   for (;;) {
     co_await ctx.Read(&it->ctrl, sizeof(Item));
     const uint64_t v1 = it->ctrl;
@@ -86,6 +102,23 @@ inline sim::Task<uint32_t> ItemRead(sim::ExecCtx& ctx, const Item* it, void* dst
 inline sim::Task<void> ItemWrite(sim::ExecCtx& ctx, Item* it, const void* src,
                                  uint32_t len) {
   UTPS_DCHECK(len <= it->capacity);
+  if (UTPS_UNLIKELY(ctx.FastForward())) {
+    // Functional apply: take the value in one synchronous step (no awaits
+    // between the parity check and the stores, so nothing can observe a torn
+    // item), then publish with ctrl += 2 — parity stays even and the version
+    // bump makes any detailed reader parked mid-validation retry.
+    for (;;) {
+      co_await ctx.Access(&it->ctrl, sizeof(Item) + len, /*write=*/true);
+      if ((it->ctrl & 1) == 0) {
+        break;
+      }
+      co_await ctx.Delay(30);  // detailed writer parked odd across the switch
+    }
+    std::memcpy(it->value(), src, len);
+    it->value_len = len;
+    it->ctrl += 2;
+    co_return;
+  }
   if (len <= 8) {
     std::memcpy(it->value(), src, len);
     it->value_len = len;

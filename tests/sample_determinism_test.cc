@@ -1,0 +1,167 @@
+// Sampled-mode determinism (DESIGN.md §12): a sampled run must be a pure
+// function of (experiment seed, window plan) — byte-identical result rows
+// across in-process repeats, across a fresh subprocess (mirroring
+// dst_determinism_test), and across simulation backends (serial vs
+// MUTPS_SIM_THREADS=4): every mode flip happens at a RunTo boundary, which
+// the parallel backend publishes exactly like the measuring flag.
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+#include "workload/workload.h"
+
+namespace utps {
+namespace {
+
+constexpr uint64_t kKeys = 20000;
+constexpr uint64_t kSeed = 42;
+
+struct Point {
+  const char* name;
+  IndexType index;
+  SystemKind system;
+  sim::SamplePlan plan;
+};
+
+constexpr Point kPoints[] = {
+    {"tree_mutps_periodic", IndexType::kTree, SystemKind::kMuTps,
+     sim::SamplePlan::kPeriodic},
+    {"tree_basekv_random", IndexType::kTree, SystemKind::kBaseKv,
+     sim::SamplePlan::kRandom},
+    {"hash_mutps_random", IndexType::kHash, SystemKind::kMuTps,
+     sim::SamplePlan::kRandom},
+};
+
+ExperimentConfig PointConfig(const Point& p, unsigned sim_threads) {
+  ExperimentConfig cfg;
+  cfg.system = p.system;
+  cfg.workload = WorkloadSpec::YcsbA(kKeys, 64);
+  cfg.client_threads = 16;
+  cfg.pipeline_depth = 4;
+  cfg.seed = kSeed;
+  cfg.warmup_ns = 200 * sim::kUsec;
+  cfg.measure_ns = 1600 * sim::kUsec;
+  cfg.max_warmup_ns = 5 * sim::kMsec;
+  cfg.mutps.autotune = false;
+  cfg.sim_threads = sim_threads;
+  cfg.sample.enabled = true;
+  cfg.sample.period_ns = 400 * sim::kUsec;
+  cfg.sample.window_ns = 100 * sim::kUsec;
+  cfg.sample.rewarm_ns = 50 * sim::kUsec;
+  cfg.sample.plan = p.plan;
+  cfg.sample.plan_seed = 7;
+  return cfg;
+}
+
+// Fixed-precision text of everything a sampled figure row is built from, so
+// "byte-identical rows" is literally a string comparison. sched_events is
+// deliberately absent: it is a host-side effort counter that differs across
+// backends even when results are value-identical.
+std::string RowFor(const Point& p, unsigned sim_threads) {
+  // Fresh bed per run: a run mutates the populated database (YCSB-A writes),
+  // so reusing a bed would make even two full-detail runs diverge by design.
+  TestBed bed(p.index, WorkloadSpec::YcsbA(kKeys, 64));
+  const ExperimentResult r = bed.Run(PointConfig(p, sim_threads));
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%s est=%.6f ci=%.6f ops=%llu p50=%llu p99=%llu windows=%llu "
+                "detail=%llu",
+                p.name, r.est_mops, r.est_mops_ci95,
+                static_cast<unsigned long long>(r.ops),
+                static_cast<unsigned long long>(r.p50_ns),
+                static_cast<unsigned long long>(r.p99_ns),
+                static_cast<unsigned long long>(r.detail_windows),
+                static_cast<unsigned long long>(r.detail_ns));
+  return buf;
+}
+
+std::string AllRows(unsigned sim_threads) {
+  std::string rows;
+  for (const Point& p : kPoints) {
+    rows += RowFor(p, sim_threads);
+    rows += '\n';
+  }
+  return rows;
+}
+
+// Child-side emitter: skipped unless the parent test set the output path.
+TEST(SampleDeterminism, ChildEmit) {
+  const char* path = std::getenv("MUTPS_SAMPLE_CHILD_OUT");
+  if (path == nullptr) {
+    GTEST_SKIP() << "subprocess helper (driven by SubprocessIdentical)";
+  }
+  std::ofstream f(path, std::ios::binary);
+  ASSERT_TRUE(f.good());
+  f << AllRows(1);
+}
+
+TEST(SampleDeterminism, InProcessRepeatIdentical) {
+  for (const Point& p : kPoints) {
+    const std::string a = RowFor(p, 1);
+    const std::string b = RowFor(p, 1);
+    EXPECT_EQ(a, b) << p.name << ": repeat sampled run diverged";
+  }
+}
+
+TEST(SampleDeterminism, ParallelBackendIdentical) {
+  for (const Point& p : kPoints) {
+    const std::string serial = RowFor(p, 1);
+    const std::string par = RowFor(p, 4);
+    EXPECT_EQ(serial, par) << p.name << ": serial vs 4-thread backend diverged";
+  }
+}
+
+TEST(SampleDeterminism, PlanSeedChangesRandomPlacement) {
+  const Point p = kPoints[2];  // hash_mutps_random
+  TestBed bed_a(p.index, WorkloadSpec::YcsbA(kKeys, 64));
+  ExperimentConfig a = PointConfig(p, 1);
+  const ExperimentResult ra = bed_a.Run(a);
+  TestBed bed_b(p.index, WorkloadSpec::YcsbA(kKeys, 64));
+  ExperimentConfig b = PointConfig(p, 1);
+  b.sample.plan_seed = 8;
+  const ExperimentResult rb = bed_b.Run(b);
+  // Different window placement measures different ops; estimates stay close
+  // (sample_equiv_test bounds that) but the exact counts must differ.
+  EXPECT_NE(ra.ops, rb.ops) << "plan seed had no effect on window placement";
+}
+
+TEST(SampleDeterminism, SubprocessIdentical) {
+  const std::string expected = AllRows(1);
+
+  char exe[4096];
+  const ssize_t n = readlink("/proc/self/exe", exe, sizeof(exe) - 1);
+  ASSERT_GT(n, 0);
+  exe[n] = '\0';
+
+  char out_path[] = "/tmp/sample_determinism_XXXXXX";
+  const int fd = mkstemp(out_path);
+  ASSERT_GE(fd, 0);
+  close(fd);
+
+  setenv("MUTPS_SAMPLE_CHILD_OUT", out_path, 1);
+  const std::string cmd = std::string(exe) +
+                          " --gtest_filter=SampleDeterminism.ChildEmit "
+                          ">/dev/null 2>&1";
+  const int rc = std::system(cmd.c_str());
+  unsetenv("MUTPS_SAMPLE_CHILD_OUT");
+
+  // Slurp and unlink before asserting so a failure cannot strand the file.
+  std::ifstream f(out_path, std::ios::binary);
+  std::stringstream got;
+  got << f.rdbuf();
+  std::remove(out_path);
+
+  ASSERT_EQ(rc, 0) << "subprocess run failed";
+  EXPECT_EQ(expected, got.str())
+      << "fresh-process sampled run produced different result rows";
+}
+
+}  // namespace
+}  // namespace utps

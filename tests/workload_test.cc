@@ -2,6 +2,9 @@
 // value sizing (ETC), and Twitter trace parameters.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <map>
 
 #include "workload/workload.h"
@@ -218,6 +221,131 @@ TEST(Workload, DeterministicAcrossRunsWithSameSeed) {
     const Op ob = b.Next();
     EXPECT_EQ(oa.key, ob.key);
     EXPECT_EQ(oa.type, ob.type);
+  }
+}
+
+// ---------------------------------------------------------------- at scale
+// The sampled-simulation regime (bench/fig16_at_scale) drives 10M-key
+// databases; these tests pin down that the generation side holds up there:
+// the distribution keeps its head/tail shape, a draw stays O(1) (the zeta
+// normalizer is computed once, not per draw), and populating at that size
+// stays within a sane memory envelope.
+
+namespace {
+// Peak resident set (VmHWM) in KiB from /proc/self/status; 0 if unavailable.
+size_t PeakRssKb() {
+  FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) {
+    return 0;
+  }
+  char line[256];
+  size_t kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::sscanf(line, "VmHWM: %zu kB", &kb) == 1) {
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+}  // namespace
+
+TEST(ZipfianAtScale, TenMillionKeysKeepHeadTailShape) {
+  const uint64_t kN = 10'000'000;
+  ZipfianGenerator gen(kN, 0.99);
+  Rng rng(11);
+  const int kSamples = 500000;
+  uint64_t top100 = 0;
+  uint64_t tail_half = 0;  // ranks in the cold upper half of the keyspace
+  for (int i = 0; i < kSamples; i++) {
+    const uint64_t r = gen.Next(rng);
+    ASSERT_LT(r, kN);
+    if (r < 100) {
+      top100++;
+    }
+    if (r >= kN / 2) {
+      tail_half++;
+    }
+  }
+  // Head: theta=0.99 over 10M keys puts roughly a fifth of the traffic on
+  // the 100 hottest ranks (the zeta normalizer grows with ln n, so the head
+  // share shrinks slightly vs the 1M-key tests above).
+  EXPECT_GT(top100, kSamples / 8u);
+  EXPECT_LT(top100, kSamples / 2u);
+  // Tail: the cold half still sees traffic (a truncated or overflowed
+  // normalizer would zero it out) but only a small share.
+  EXPECT_GT(tail_half, 0u);
+  EXPECT_LT(tail_half, kSamples / 10u);
+}
+
+TEST(ZipfianAtScale, DrawsAreConstantTimeInKeyCount) {
+  // 10M draws complete in seconds only if Next() is O(1): any O(n) work per
+  // draw (e.g. recomputing the zeta sum) would push this into hours. The
+  // generous wall-clock bound keeps the test robust on slow CI hosts while
+  // still being ~4 orders of magnitude below an O(n)-per-draw runtime.
+  const uint64_t kN = 10'000'000;
+  ZipfianGenerator gen(kN, 0.99);
+  Rng rng(12);
+  const auto start = std::chrono::steady_clock::now();
+  uint64_t sink = 0;
+  for (int i = 0; i < 10'000'000; i++) {
+    sink ^= gen.Next(rng);
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_NE(sink, 0u);  // keep the loop from being optimized away
+  EXPECT_LT(secs, 60.0) << "Zipfian draw is not O(1) in the key count";
+}
+
+TEST(ZipfianAtScale, ScrambledCoversKeyspaceWithoutCollisionsInHead) {
+  // KeyOfRank at 10M must land hot ranks all over the keyspace and map
+  // distinct head ranks to distinct keys (Mix64 is a permutation; only the
+  // final modulo can collide, which is vanishingly unlikely for 1k draws).
+  const uint64_t kN = 10'000'000;
+  ScrambledZipfian gen(kN, 0.99);
+  std::map<uint64_t, int> seen;
+  uint64_t lo = UINT64_MAX;
+  uint64_t hi = 0;
+  for (uint64_t r = 0; r < 1000; r++) {
+    const Key k = gen.KeyOfRank(r);
+    ASSERT_LT(k, kN);
+    seen[k]++;
+    lo = std::min(lo, k);
+    hi = std::max(hi, k);
+  }
+  EXPECT_EQ(seen.size(), 1000u);
+  EXPECT_GT(hi - lo, kN / 2);
+}
+
+TEST(WorkloadAtScale, PopulatePathStaysInMemoryEnvelope) {
+  // Walk the populate path's sizing exactly as TestBed::Populate does —
+  // per-key value sizes summed over 10M keys — and bound the generator-side
+  // memory: drawing sizes for 10M keys must not allocate per key. The spec
+  // sizing itself is pure arithmetic, so peak RSS should not grow by more
+  // than a small constant over the baseline.
+  const size_t before_kb = PeakRssKb();
+  const WorkloadSpec spec = WorkloadSpec::Etc(10'000'000, 0.9);
+  uint64_t total_bytes = 0;
+  uint32_t min_v = UINT32_MAX;
+  uint32_t max_v = 0;
+  for (Key k = 0; k < spec.num_keys; k++) {
+    const uint32_t v = ValueSizeOfKey(spec, k);
+    total_bytes += v;
+    min_v = std::min(min_v, v);
+    max_v = std::max(max_v, v);
+  }
+  const size_t after_kb = PeakRssKb();
+  ASSERT_GE(min_v, 1u);
+  ASSERT_LE(max_v, 1024u);
+  // ETC averages ~120 B/value: 10M keys is roughly a 0.9-1.6 GB data set —
+  // the arena TestBed would size for this fits comfortably in the envelope
+  // fig16 runs under.
+  EXPECT_GT(total_bytes, 800ull << 20);
+  EXPECT_LT(total_bytes, 2ull << 30);
+  if (before_kb != 0 && after_kb != 0) {
+    EXPECT_LT(after_kb - before_kb, 64ull * 1024)  // < 64 MiB growth
+        << "sizing 10M keys allocated per-key state";
   }
 }
 
