@@ -46,6 +46,27 @@ struct PerfRow {
 constexpr uint64_t kKeys = 200000;
 constexpr uint64_t kSeed = 42;
 
+// Host peak RSS in KB (VmHWM from /proc/self/status); 0 where unavailable.
+// Tracks the simulator's memory high-water mark next to its speed so a PR
+// that trades RSS for wall shows up in the same JSON.
+uint64_t PeakRssKb() {
+  FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) {
+    return 0;
+  }
+  uint64_t kb = 0;
+  char line[256];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    unsigned long long v = 0;
+    if (std::sscanf(line, "VmHWM: %llu kB", &v) == 1) {
+      kb = v;
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+
 ExperimentConfig PerfConfig(SystemKind system, const WorkloadSpec& spec) {
   ExperimentConfig cfg;
   cfg.system = system;
@@ -134,6 +155,31 @@ int main() {
               total_wall > 0.0 ? static_cast<double>(total_events) / total_wall
                                : 0.0);
 
+  // At-scale leg: the fig16 sampled machinery (fast-forward + detailed
+  // windows) at selfperf scale — host cost of the two-mode engine, kept in
+  // its own JSON section so total_wall_s stays comparable with older files
+  // whose totals cover only the full-detail legs above.
+  std::vector<PerfRow> atscale_rows;
+  {
+    TestBed bed(IndexType::kHash, WorkloadSpec::YcsbC(kKeys, 64));
+    const WorkloadSpec ycsbc = WorkloadSpec::YcsbC(kKeys, 64);
+    ExperimentConfig cfg = PerfConfig(SystemKind::kMuTps, ycsbc);
+    cfg.client_threads = 128;
+    cfg.warmup_ns = 1 * sim::kMsec;
+    cfg.measure_ns = 4 * sim::kMsec;
+    cfg.sample.enabled = true;
+    cfg.sample.period_ns = 250 * sim::kUsec;
+    cfg.sample.window_ns = 50 * sim::kUsec;
+    cfg.sample.rewarm_ns = 20 * sim::kUsec;
+    cfg.sample.plan = sim::SamplePlan::kPeriodic;
+    atscale_rows.push_back(
+        RunPoint("atscale_hash64_ycsbc_sampled", bed, cfg));
+  }
+  double atscale_wall = 0.0;
+  for (const PerfRow& r : atscale_rows) {
+    atscale_wall += r.wall_s;
+  }
+
   const std::string out = EnvStr("MUTPS_SIMPERF_OUT", "BENCH_simperf.json");
   FILE* f = std::fopen(out.c_str(), "w");
   if (f == nullptr) {
@@ -144,22 +190,32 @@ int main() {
                static_cast<unsigned long long>(kKeys),
                static_cast<unsigned long long>(kSeed));
   std::fprintf(f, "  \"host_cpus\": %u,\n", std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"peak_rss_kb\": %llu,\n",
+               static_cast<unsigned long long>(PeakRssKb()));
   std::fprintf(f, "  \"total_wall_s\": %.3f,\n  \"total_events\": %llu,\n",
                total_wall, static_cast<unsigned long long>(total_events));
+  const auto WriteRows = [f](const std::vector<PerfRow>& rs) {
+    for (size_t i = 0; i < rs.size(); i++) {
+      const PerfRow& r = rs[i];
+      std::fprintf(
+          f,
+          "    {\"name\": \"%s\", \"wall_s\": %.3f, \"events\": %llu, "
+          "\"events_per_sec\": %.0f, \"sim_mops\": %.3f, "
+          "\"sim_ops\": %llu, \"host_threads\": %u, "
+          "\"sched_clamps\": %llu}%s\n",
+          r.name.c_str(), r.wall_s, static_cast<unsigned long long>(r.events),
+          r.events_per_sec, r.sim_mops,
+          static_cast<unsigned long long>(r.sim_ops), r.host_threads,
+          static_cast<unsigned long long>(r.sched_clamps),
+          i + 1 < rs.size() ? "," : "");
+    }
+  };
   std::fprintf(f, "  \"benches\": [\n");
-  for (size_t i = 0; i < rows.size(); i++) {
-    const PerfRow& r = rows[i];
-    std::fprintf(f,
-                 "    {\"name\": \"%s\", \"wall_s\": %.3f, \"events\": %llu, "
-                 "\"events_per_sec\": %.0f, \"sim_mops\": %.3f, "
-                 "\"sim_ops\": %llu, \"host_threads\": %u, "
-                 "\"sched_clamps\": %llu}%s\n",
-                 r.name.c_str(), r.wall_s,
-                 static_cast<unsigned long long>(r.events), r.events_per_sec,
-                 r.sim_mops, static_cast<unsigned long long>(r.sim_ops),
-                 r.host_threads, static_cast<unsigned long long>(r.sched_clamps),
-                 i + 1 < rows.size() ? "," : "");
-  }
+  WriteRows(rows);
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"atscale_wall_s\": %.3f,\n  \"atscale_benches\": [\n",
+               atscale_wall);
+  WriteRows(atscale_rows);
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
   std::printf("wrote %s\n", out.c_str());

@@ -62,6 +62,72 @@ ctest --preset default -R 'sample_equiv_test|sample_determinism_test' \
   --no-tests=error -j "$(nproc)"
 echo "=== sampled mode within bound and deterministic ==="
 
+# Host-performance floor (DESIGN.md §13): the selfperf suite's per-leg
+# events/s must stay within 15% of the committed results/BENCH_simperf.json.
+# A miss means a host-performance regression (or a much slower machine —
+# skip with MUTPS_SKIP_PERF_FLOOR=1 when running somewhere the committed
+# numbers don't represent; CI and the dev container do represent them).
+if [ "${MUTPS_SKIP_PERF_FLOOR:-0}" = "0" ] && \
+   [ -f results/BENCH_simperf.json ]; then
+  echo "=== host perf floor (selfperf vs results/BENCH_simperf.json) ==="
+  cmake --build --preset default --target selfperf -j "$(nproc)" >/dev/null
+  # Up to 3 attempts, per-leg max across attempts: right after the test
+  # suite the host is often still shedding load (cgroup CPU-bandwidth
+  # throttle budgets refill over seconds), so a first run can miss by noise
+  # alone. Later attempts idle first; a leg that misses every attempt is a
+  # real regression.
+  floor_ok=0
+  for attempt in 1 2 3; do
+    if [ "$attempt" -gt 1 ]; then
+      echo "floor miss on attempt $((attempt - 1)); idling 15s and retrying"
+      sleep 15
+    fi
+    MUTPS_SIMPERF_OUT=/tmp/simperf_floor.$attempt.$$ \
+      ./build/bench/selfperf >/dev/null
+    if python3 - results/BENCH_simperf.json \
+        /tmp/simperf_floor.*.$$ <<'EOF'
+import json, sys
+base = json.load(open(sys.argv[1]))
+cur_rows = {}
+for path in sys.argv[2:]:
+    cur = json.load(open(path))
+    for r in cur["benches"] + cur.get("atscale_benches", []):
+        prev = cur_rows.get(r["name"])
+        if prev is None or r["events_per_sec"] > prev["events_per_sec"]:
+            cur_rows[r["name"]] = r
+bad = []
+for b in base["benches"] + base.get("atscale_benches", []):
+    c = cur_rows.get(b["name"])
+    if c is None:
+        bad.append(f'{b["name"]}: missing from current run')
+        continue
+    ratio = c["events_per_sec"] / b["events_per_sec"]
+    flag = "  <-- FLOOR MISS" if ratio < 0.85 else ""
+    print(f'{b["name"]:32s} {b["events_per_sec"]:12.0f} -> '
+          f'{c["events_per_sec"]:12.0f} ev/s ({ratio:5.2f}x){flag}')
+    if ratio < 0.85:
+        bad.append(f'{b["name"]}: {ratio:.2f}x of committed events/s')
+if bad:
+    print("host perf floor not met this attempt:", file=sys.stderr)
+    for m in bad:
+        print("  " + m, file=sys.stderr)
+    sys.exit(1)
+EOF
+    then
+      floor_ok=1
+      break
+    fi
+  done
+  rm -f /tmp/simperf_floor.*.$$
+  if [ "$floor_ok" != 1 ]; then
+    echo "host perf floor violated (>15% below committed on every attempt)" >&2
+    exit 1
+  fi
+  echo "=== host perf within 15% of committed floor ==="
+else
+  echo "=== host perf floor skipped ==="
+fi
+
 if [ "${MUTPS_DST_FAULTS:-0}" != "0" ] || [ "${MUTPS_DST:-0}" != "0" ]; then
   echo "=== DST fault-profile sweep (3 profiles x extra seeds) ==="
   MUTPS_DST_FAULT_SEEDS="${MUTPS_DST_FAULT_SEEDS:-12}" \

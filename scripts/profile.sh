@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Profiles a bench binary and prints the hot-function table.
+#
+#   ./scripts/profile.sh [bench] [args...]
+#
+# Defaults to `selfperf` (the wall-clock suite behind results/BENCH_simperf.json).
+# Examples:
+#   ./scripts/profile.sh                      # selfperf, full suite
+#   ./scripts/profile.sh fig07_overall        # under MUTPS_QUICK=1 if you set it
+#   ./scripts/profile.sh selfperf --only=mutps_tree
+#
+# Prefers perf(1) when it is present AND usable (kernel.perf_event_paranoid
+# permitting); otherwise falls back to gprof via the "profile" CMake preset
+# (-O2 -g -pg, frame pointers on). Containers in this project typically lack
+# perf, so the gprof path is the one exercised day to day.
+#
+# gprof caveats for this codebase (see DESIGN.md §13):
+#   - Unnamed coroutine .resume clones get attributed to the nearest symbol:
+#     rows like ResetStats / SendResponse / BuildSherman at implausible
+#     percentages are simulated-application fiber bodies, not those functions.
+#   - -pg adds ~5-10% overhead; compare ratios, not absolute seconds, against
+#     the uninstrumented build.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+bench="${1:-selfperf}"
+shift || true
+
+find_bin() {
+  local dir="$1"
+  for cand in "$dir/bench/$bench" "$dir/tests/$bench" "$dir/$bench"; do
+    if [[ -x "$cand" ]]; then
+      echo "$cand"
+      return 0
+    fi
+  done
+  return 1
+}
+
+perf_usable() {
+  command -v perf >/dev/null 2>&1 || return 1
+  # perf exists but may be blocked (no kernel support in container, or
+  # perf_event_paranoid too strict). A 1-instruction probe settles it.
+  perf stat -e task-clock true >/dev/null 2>&1
+}
+
+if perf_usable; then
+  echo "== perf path (build/ preset binaries have frame pointers) =="
+  if ! bin="$(find_bin "$repo/build")"; then
+    echo "building $bench (default preset)..."
+    cmake --build "$repo/build" -j"$(nproc)" --target "$bench" >/dev/null
+    bin="$(find_bin "$repo/build")"
+  fi
+  data="$(mktemp /tmp/utps-perf-XXXX.data)"
+  perf record --call-graph fp -o "$data" -- "$bin" "$@"
+  perf report -i "$data" --stdio --percent-limit 0.5 | head -80
+  echo "full report: perf report -i $data"
+  exit 0
+fi
+
+echo "== gprof path (perf unavailable; using -pg instrumented build) =="
+if [[ ! -d "$repo/build-profile" ]]; then
+  cmake --preset profile >/dev/null
+fi
+cmake --build "$repo/build-profile" -j"$(nproc)" --target "$bench" >/dev/null
+bin="$(find_bin "$repo/build-profile")"
+
+# gmon.out lands in the working directory; run from a scratch dir so repeated
+# profiles do not clobber each other or litter the repo root.
+run="$(mktemp -d /tmp/utps-gprof-XXXX)"
+(cd "$run" && "$bin" "$@")
+gprof --flat-profile "$bin" "$run/gmon.out" | head -60
+echo
+echo "call graph: gprof $bin $run/gmon.out | less"

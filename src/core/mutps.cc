@@ -217,7 +217,7 @@ Task<void> MuTpsServer::CrRun(unsigned idx) {
       // layer grows, some staged targets are about to become CR workers and
       // would otherwise strand these descriptors.
       for (unsigned t = 0; t < env_.num_workers; t++) {
-        if (!w.staging[t].descs.empty()) {
+        if (!w.staging[t].Empty()) {
           co_await CrFlushStaging(idx, t);
         }
       }
@@ -268,7 +268,7 @@ Task<void> MuTpsServer::CrRun(unsigned idx) {
     const unsigned nmr = env_.num_workers - local_ncr;
     for (unsigned t = local_ncr; t < env_.num_workers && nmr > 0; t++) {
       Worker::Staging& st = w.staging[t];
-      if (!st.descs.empty() &&
+      if (!st.Empty() &&
           ctx.Now() - st.first_ns >= opt_.flush_timeout_ns) {
         co_await CrFlushStaging(idx, t);
         if (t == local_ncr + (w.rr_next % nmr)) {
@@ -438,13 +438,12 @@ Task<bool> MuTpsServer::CrHandleRecord(unsigned idx, uint64_t rx_seq,
     }
   }
   Worker::Staging& st = w.staging[target];
-  if (st.descs.empty()) {
+  if (st.Empty()) {
     st.first_ns = ctx.Now();
   }
-  st.descs.push_back(d);
-  st.host.push_back(hd);
+  st.Push(d, hd);
   ctx.Charge(3);  // staging append
-  if (st.descs.size() >= opt_.batch_size) {
+  if (st.Size() >= opt_.batch_size) {
     co_await CrFlushStaging(idx, target);
     w.rr_next++;
   }
@@ -499,7 +498,7 @@ Task<void> MuTpsServer::CrFlushStaging(unsigned idx, unsigned target) {
   Worker& w = workers_[idx];
   ExecCtx& ctx = w.ctx;
   Worker::Staging& st = w.staging[target];
-  if (st.descs.empty()) {
+  if (st.Empty()) {
     co_return;
   }
   obs::SpanScope span(trc_, ctx, "cr", "cr_flush", obs::Tracer::kServerPid, idx);
@@ -517,13 +516,12 @@ Task<void> MuTpsServer::CrFlushStaging(unsigned idx, unsigned target) {
   }
   const uint64_t seq = r.head();
   CrMrRing::Slot* slot = r.SlotAt(seq);
-  const unsigned cnt =
-      std::min<unsigned>(st.descs.size(), CrMrRing::kMaxBatch);
+  const unsigned cnt = std::min<unsigned>(st.Size(), CrMrRing::kMaxBatch);
   slot->count = cnt;
   CrMrHostDesc* host = r.HostAt(seq);
   for (unsigned i = 0; i < cnt; i++) {
-    slot->descs[i] = st.descs[i];
-    host[i] = st.host[i];
+    slot->descs[i] = st.Desc(i);
+    host[i] = st.Host(i);
   }
   {
     StageScope s(ctx, Stage::kQueue);
@@ -547,9 +545,8 @@ Task<void> MuTpsServer::CrFlushStaging(unsigned idx, unsigned target) {
     trc_->Counter(out_ctr_name_[idx], obs::Tracer::kServerPid, ctx.Now(),
                   w.outstanding);
   }
-  st.descs.erase(st.descs.begin(), st.descs.begin() + cnt);
-  st.host.erase(st.host.begin(), st.host.begin() + cnt);
-  if (!st.descs.empty()) {
+  st.Consume(cnt);
+  if (!st.Empty()) {
     st.first_ns = ctx.Now();
   }
 }
@@ -601,7 +598,7 @@ Task<void> MuTpsServer::CrPollCompletions(unsigned idx) {
 Task<void> MuTpsServer::CrDrainOutstanding(unsigned idx) {
   Worker& w = workers_[idx];
   for (unsigned t = 0; t < env_.num_workers; t++) {
-    if (!w.staging[t].descs.empty()) {
+    if (!w.staging[t].Empty()) {
       co_await CrFlushStaging(idx, t);
     }
   }
@@ -1075,7 +1072,7 @@ void MuTpsServer::DebugDump() const {
     const Worker& w = workers_[i];
     uint64_t staged = 0;
     for (const auto& st : w.staging) {
-      staged += st.descs.size();
+      staged += st.Size();
     }
     uint64_t ring_in = 0;
     for (unsigned p = 0; p < env_.num_workers; p++) {
@@ -1113,9 +1110,9 @@ bool MuTpsServer::AuditQuiesced(std::string* err) const {
   for (unsigned i = 0; i < w; i++) {
     const Worker& wk = workers_[i];
     for (unsigned t = 0; t < wk.staging.size(); t++) {
-      if (!wk.staging[t].descs.empty()) {
+      if (!wk.staging[t].Empty()) {
         return fail("worker " + std::to_string(i) + " has " +
-                    std::to_string(wk.staging[t].descs.size()) +
+                    std::to_string(wk.staging[t].Size()) +
                     " staged descriptors at quiesce");
       }
     }

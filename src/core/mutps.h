@@ -132,6 +132,28 @@ class MuTpsServer final : public KvServer {
       std::vector<CrMrDesc> descs;
       std::vector<CrMrHostDesc> host;
       sim::Tick first_ns = 0;
+      // Flushed prefix of descs/host. Flushes advance this cursor instead of
+      // erasing from the front (per-flush memmove); storage is reclaimed
+      // wholesale once everything staged has been consumed, so steady state
+      // recycles the vectors' capacity with no allocation.
+      uint32_t consumed = 0;
+
+      bool Empty() const { return consumed == descs.size(); }
+      size_t Size() const { return descs.size() - consumed; }
+      const CrMrDesc& Desc(unsigned i) const { return descs[consumed + i]; }
+      const CrMrHostDesc& Host(unsigned i) const { return host[consumed + i]; }
+      void Push(const CrMrDesc& d, const CrMrHostDesc& h) {
+        descs.push_back(d);
+        host.push_back(h);
+      }
+      void Consume(unsigned cnt) {
+        consumed += cnt;
+        if (consumed == descs.size()) {
+          descs.clear();
+          host.clear();
+          consumed = 0;
+        }
+      }
     };
     std::vector<Staging> staging;       // indexed by target worker id
     std::vector<uint64_t> seen_tail;    // CR: completion cursor per target ring

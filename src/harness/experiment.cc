@@ -9,9 +9,12 @@
 #include "index/cuckoo.h"
 #include "net/rpc.h"
 #include "sim/parallel.h"
+#include "stats/staged.h"
 #include "stats/streaming.h"
 
 namespace utps {
+
+uint64_t (*g_alloc_probe)() = nullptr;
 
 using sim::Engine;
 using sim::ExecCtx;
@@ -53,6 +56,8 @@ struct ClientShared {
 struct ClientStats {
   uint64_t ops = 0;
   Histogram hist;
+  HistogramStage stage;  // staged latency samples; flushed into hist before
+                         // any read of it (stats/staged.h)
   uint64_t retries = 0;
   TimeSeries* timeline = nullptr;
   // fig15: per-bucket latency histograms for the P99 timeline.
@@ -126,7 +131,7 @@ Fiber ClientFiber(ExecCtx* ctx, ClientShared* sh, ClientStats* st, uint64_t id,
     const Tick lat = ctx->Now() - t0;
     if (sh->measuring) {
       st->ops++;
-      st->hist.Record(lat);
+      st->stage.Record(lat, &st->hist);
     }
     if (st->timeline != nullptr) {
       st->timeline->Add(ctx->Now(), 1);
@@ -454,6 +459,7 @@ ExperimentResult TestBed::Run(const ExperimentConfig& cfg) {
     observer->ResetCycles();  // cycle accounting covers the window only
   }
   const bool sampled = cfg.sample.enabled;
+  const uint64_t allocs0 = g_alloc_probe != nullptr ? g_alloc_probe() : 0;
   const Tick t0 = eng.now();
   stats::StreamingCi win_rate;  // per-window throughput observations (Mops)
   Tick detail_ns = 0;
@@ -528,12 +534,15 @@ ExperimentResult TestBed::Run(const ExperimentConfig& cfg) {
     sh.measuring = false;
   }
   const Tick t1 = eng.now();
+  const uint64_t measure_allocs =
+      g_alloc_probe != nullptr ? g_alloc_probe() - allocs0 : 0;
 
   // Merge the per-partition client counters (a single block in serial mode).
   uint64_t total_ops = 0;
   uint64_t total_retries = 0;
   Histogram hist;
   for (ClientStats& st : cstats) {
+    st.stage.FlushTo(&st.hist);
     total_ops += st.ops;
     total_retries += st.retries;
     hist.Merge(st.hist);
@@ -687,6 +696,7 @@ ExperimentResult TestBed::Run(const ExperimentConfig& cfg) {
   res.sched_peak_pending = sched.peak_heap;
   res.sched_clamps = sched.sealed_clamps;
   res.host_threads = parallel ? want : 1;
+  res.measure_allocs = measure_allocs;
   return res;
 }
 

@@ -159,7 +159,17 @@ struct ExperimentResult {
   // parallel backend reports its partition count, even when a sweep asked
   // for more threads than the run could use).
   unsigned host_threads = 1;
+  // Host heap allocations performed during the measure phase (warmup and
+  // populate excluded). Filled only when g_alloc_probe is installed; the
+  // zero-allocation steady-state invariant (DESIGN.md §13) is enforced by
+  // tests/alloc_regression_test against this value.
+  uint64_t measure_allocs = 0;
 };
+
+// Test hook: when non-null, called by TestBed::Run at the measure-phase
+// boundaries; the difference lands in ExperimentResult::measure_allocs.
+// tests/alloc_regression_test points this at its operator-new counter.
+extern uint64_t (*g_alloc_probe)();
 
 class TestBed {
  public:

@@ -208,16 +208,35 @@ class HotSetManager {
   // Builds the next hot structure with the `k` hottest keys (k <= kMaxHot),
   // resolving keys to items via `resolve`, and publishes a new epoch.
   // Items that no longer resolve are skipped.
+  //
+  // Host-performance notes (DESIGN.md §13) — every shortcut below is exact,
+  // not approximate, because the published structures must be byte-identical
+  // to the straightforward form:
+  //  - Candidates are deduplicated before the top-K pass. A repeated Offer of
+  //    one key is a provable no-op: the sketch is frozen during the pass (the
+  //    estimate cannot change, so the update path re-heapifies an unchanged
+  //    freq), and the heap minimum is non-decreasing (a key rejected once
+  //    stays rejected). Offering each distinct key once — in first-occurrence
+  //    order — therefore yields the same heap.
+  //  - The by-key sort uses an LSD radix sort: hot keys are unique, so the
+  //    comparator is a total order and any correct sort produces the same
+  //    array. (The by-freq extract sort has ties and must stay std::sort —
+  //    see TopK::ExtractTo.)
+  //  - Scratch vectors persist across refreshes: steady state performs no
+  //    heap allocation here.
   template <typename Resolver>
   void BuildAndPublish(uint32_t k, Resolver&& resolve) {
     UTPS_CHECK(k <= kMaxHot);
-    TopK topk(k == 0 ? 1 : k);
+    topk_.Reset(k == 0 ? 1 : k);
+    DedupBegin(candidates_.size());
     for (Key c : candidates_) {
-      topk.Offer(c, sketch_.Estimate(c));
+      if (DedupInsert(c)) {
+        topk_.Offer(c, sketch_.Estimate(c));
+      }
     }
-    std::vector<Key> hot = topk.Extract();
+    topk_.ExtractTo(hot_scratch_);
     if (k == 0) {
-      hot.clear();
+      hot_scratch_.clear();
     }
     const int next = static_cast<int>((epoch_ + 1) & 1);
     HotArray& ha = arrays_[next];
@@ -226,14 +245,14 @@ class HotSetManager {
     std::memset(hf.slots, 0, (size_t{hf.mask} + 1) * sizeof(Key));
     hf.count = 0;
     ha.count = 0;
-    std::vector<HotArray::Entry> entries;
-    entries.reserve(hot.size());
-    for (Key key : hot) {
+    entries_scratch_.clear();
+    entries_scratch_.reserve(hot_scratch_.size());
+    for (Key key : hot_scratch_) {
       Item* it = resolve(key);
       if (it == nullptr) {
         continue;
       }
-      entries.push_back({key, it});
+      entries_scratch_.push_back({key, it});
       uint32_t i = static_cast<uint32_t>(Mix64(key)) & hf.mask;
       while (hf.slots[i] != 0) {
         i = (i + 1) & hf.mask;
@@ -241,14 +260,12 @@ class HotSetManager {
       hf.slots[i] = key + 1;
       hf.count++;
     }
-    std::sort(entries.begin(), entries.end(),
-              [](const HotArray::Entry& a, const HotArray::Entry& b) {
-                return a.key < b.key;
-              });
-    for (size_t i = 0; i < entries.size(); i++) {
-      ha.entries[i] = entries[i];
+    RadixSortByKey();
+    if (!entries_scratch_.empty()) {
+      std::memcpy(ha.entries, entries_scratch_.data(),
+                  entries_scratch_.size() * sizeof(HotArray::Entry));
     }
-    ha.count = static_cast<uint32_t>(entries.size());
+    ha.count = static_cast<uint32_t>(entries_scratch_.size());
     epoch_++;
   }
 
@@ -301,6 +318,73 @@ class HotSetManager {
   }
 
  private:
+  // Stamp-versioned open-addressing dedup set (no per-refresh clearing: a
+  // stale slot is one whose stamp is not the current pass's).
+  void DedupBegin(size_t n) {
+    size_t cap = 16;
+    while (cap < 2 * n) {
+      cap <<= 1;
+    }
+    if (cap > dedup_keys_.size()) {
+      dedup_keys_.assign(cap, 0);
+      dedup_stamp_.assign(cap, 0);
+      dedup_pass_ = 0;
+    }
+    dedup_mask_ = static_cast<uint32_t>(dedup_keys_.size() - 1);
+    dedup_pass_++;
+  }
+
+  // Returns true on first occurrence of `key` in this pass.
+  bool DedupInsert(Key key) {
+    uint32_t i = static_cast<uint32_t>(Mix64(key)) & dedup_mask_;
+    while (dedup_stamp_[i] == dedup_pass_) {
+      if (dedup_keys_[i] == key) {
+        return false;
+      }
+      i = (i + 1) & dedup_mask_;
+    }
+    dedup_keys_[i] = key;
+    dedup_stamp_[i] = dedup_pass_;
+    return true;
+  }
+
+  // LSD radix sort of entries_scratch_ by key (8-bit digits, skipping passes
+  // where all keys share the digit — typical for compact keyspaces). Keys are
+  // unique, so the result equals any comparison sort by key.
+  void RadixSortByKey() {
+    const size_t n = entries_scratch_.size();
+    if (n < 2) {
+      return;
+    }
+    radix_scratch_.resize(n);
+    HotArray::Entry* src = entries_scratch_.data();
+    HotArray::Entry* dst = radix_scratch_.data();
+    for (unsigned shift = 0; shift < 64; shift += 8) {
+      uint32_t hist[257] = {};
+      for (size_t i = 0; i < n; i++) {
+        hist[((src[i].key >> shift) & 0xff) + 1]++;
+      }
+      bool uniform = false;
+      for (unsigned b = 1; b <= 256; b++) {
+        if (hist[b] == n) {
+          uniform = true;
+          break;
+        }
+        hist[b] += hist[b - 1];
+      }
+      if (uniform) {
+        continue;
+      }
+      for (size_t i = 0; i < n; i++) {
+        dst[hist[(src[i].key >> shift) & 0xff]++] = src[i];
+      }
+      std::swap(src, dst);
+    }
+    if (src != entries_scratch_.data()) {
+      std::memcpy(entries_scratch_.data(), src, n * sizeof(HotArray::Entry));
+    }
+  }
+
   unsigned num_workers_;
   std::vector<SampleRing> rings_;
   CountMinSketch sketch_;
@@ -309,6 +393,16 @@ class HotSetManager {
   HotFilter filters_[2];
   uint64_t epoch_ = 0;
   std::vector<uint64_t> worker_epochs_;
+
+  // Persistent scratch for BuildAndPublish (see its host-performance notes).
+  TopK topk_{1};
+  std::vector<Key> hot_scratch_;
+  std::vector<HotArray::Entry> entries_scratch_;
+  std::vector<HotArray::Entry> radix_scratch_;
+  std::vector<Key> dedup_keys_;
+  std::vector<uint32_t> dedup_stamp_;
+  uint32_t dedup_mask_ = 0;
+  uint32_t dedup_pass_ = 0;
 };
 
 }  // namespace utps

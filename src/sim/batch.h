@@ -51,7 +51,7 @@ inline Task<void> RunBatch(ExecCtx& ctx, Task<void>* tasks, unsigned n,
     ctx.eng->ExitNestedResume();
   }
   while (count_live() > 0) {
-    if (ctl.waiting.empty()) {
+    if (ctl.Empty()) {
       // All remaining tasks are blocked at engine level (e.g. lock waits);
       // poll until one parks itself back.
       ctx.batch = nullptr;
@@ -60,15 +60,13 @@ inline Task<void> RunBatch(ExecCtx& ctx, Task<void>* tasks, unsigned n,
       continue;
     }
     // Pick the parked coroutine whose fill completes first.
-    size_t best = 0;
-    for (size_t i = 1; i < ctl.waiting.size(); i++) {
+    uint32_t best = 0;
+    for (uint32_t i = 1; i < ctl.count; i++) {
       if (ctl.waiting[i].resume_at < ctl.waiting[best].resume_at) {
         best = i;
       }
     }
-    const BatchCtl::Parked p = ctl.waiting[best];
-    ctl.waiting[best] = ctl.waiting.back();
-    ctl.waiting.pop_back();
+    const BatchCtl::Parked p = ctl.Take(best);
     if (p.resume_at > ctx.Now()) {
       ctx.batch = nullptr;
       co_await ctx.Delay(p.resume_at - ctx.Now());

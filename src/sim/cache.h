@@ -110,21 +110,16 @@ class MemoryModel {
     UTPS_CHECK(cfg.num_cores <= 32);
     UTPS_CHECK(cfg.llc_ways <= 16);
     UTPS_CHECK(cfg.priv_ways <= 16);
-    priv_tags_.assign(size_t{cfg.num_cores} * priv_sets_ * cfg.priv_ways, 0);
-    priv_excl_.assign(priv_tags_.size(), 0);
-    priv_order_.assign(priv_tags_.size(), 0);
-    priv_hint_.assign(size_t{cfg.num_cores} * priv_sets_, 0);
-    llc_.assign(size_t{llc_sets_} * cfg.llc_ways, LlcEntry{});
-    llc_tags_.assign(llc_.size(), 0);
-    llc_order_.assign(size_t{llc_sets_} * cfg.llc_ways, 0);
-    llc_hint_.assign(llc_sets_, 0);
-    for (uint32_t s = 0; s < llc_sets_; s++) {
-      for (unsigned w = 0; w < cfg.llc_ways; w++) {
-        llc_order_[size_t{s} * cfg.llc_ways + w] = static_cast<uint8_t>(w);
-      }
+    priv_stride_ = cfg.priv_ways + 2;
+    llc_stride_ = cfg.llc_ways + 2;
+    priv_.assign(size_t{cfg.num_cores} * priv_sets_ * priv_stride_, 0);
+    for (size_t s = 0; s < size_t{cfg.num_cores} * priv_sets_; s++) {
+      priv_[s * priv_stride_ + cfg.priv_ways] = IdentityOrder(cfg.priv_ways);
     }
-    for (size_t i = 0; i < priv_order_.size(); i++) {
-      priv_order_[i] = static_cast<uint8_t>(i % cfg.priv_ways);
+    llc_.assign(size_t{llc_sets_} * cfg.llc_ways, LlcEntry{});
+    llc_tags_.assign(size_t{llc_sets_} * llc_stride_, 0);
+    for (size_t s = 0; s < llc_sets_; s++) {
+      llc_tags_[s * llc_stride_ + cfg.llc_ways] = IdentityOrder(cfg.llc_ways);
     }
     for (auto& m : clos_masks_) {
       m = cfg.AllWaysMask();
@@ -257,11 +252,19 @@ class MemoryModel {
   // Drop all cached state (used between benchmark points that share a
   // populated store).
   void FlushAll() {
-    std::fill(priv_tags_.begin(), priv_tags_.end(), 0);
-    std::fill(priv_hint_.begin(), priv_hint_.end(), 0);
+    // Clears tags and hints but leaves each set's recency word alone — the
+    // pre-colocation representation kept its order arrays across flushes, and
+    // byte-identical replay depends on preserving that.
+    for (size_t s = 0; s < priv_.size(); s += priv_stride_) {
+      std::fill(priv_.begin() + s, priv_.begin() + s + cfg_.priv_ways, 0);
+      priv_[s + cfg_.priv_ways + 1] = 0;  // hint
+    }
     std::fill(llc_.begin(), llc_.end(), LlcEntry{});
-    std::fill(llc_tags_.begin(), llc_tags_.end(), 0);
-    std::fill(llc_hint_.begin(), llc_hint_.end(), 0);
+    for (size_t s = 0; s < llc_tags_.size(); s += llc_stride_) {
+      std::fill(llc_tags_.begin() + s, llc_tags_.begin() + s + cfg_.llc_ways,
+                0);
+      llc_tags_[s + cfg_.llc_ways + 1] = 0;  // hint
+    }
   }
 
   const MachineConfig& config() const { return cfg_; }
@@ -277,6 +280,45 @@ class MemoryModel {
     bool dirty = false;
   };
 
+  // ---------------------------------------------------------- recency words
+  // A set's LRU order is one uint64: nibble i holds the way id at recency
+  // rank i (rank 0 = MRU, rank ways-1 = LRU). Move-to-front, LRU-victim
+  // selection, and rank scans become register arithmetic on a single loaded
+  // word instead of byte-array shift loops — the dominant cost of the old
+  // representation inside AccessLine (DESIGN.md §13). Requires ways <= 16
+  // (checked in the constructor); every operation below permutes nibbles
+  // exactly as the byte loops permuted array entries, so the model remains
+  // bit-identical.
+  static uint64_t IdentityOrder(unsigned ways) {
+    uint64_t w = 0;
+    for (unsigned i = 0; i < ways; i++) {
+      w |= uint64_t{i} << (4 * i);
+    }
+    return w;
+  }
+  static unsigned OrderAt(uint64_t word, unsigned rank) {
+    return static_cast<unsigned>((word >> (4 * rank)) & 0xf);
+  }
+  static unsigned RankOf(uint64_t word, unsigned way) {
+    unsigned r = 0;
+    while (((word >> (4 * r)) & 0xf) != way) {
+      r++;
+    }
+    return r;
+  }
+  // Moves the nibble at `rank` to rank 0, shifting ranks [0, rank) up one.
+  static uint64_t ToFront(uint64_t word, unsigned rank) {
+    if (rank == 0) {
+      return word;
+    }
+    const uint64_t low_mask = (uint64_t{1} << (4 * rank)) - 1;
+    const uint64_t way = (word >> (4 * rank)) & 0xf;
+    // Drop the nibble at `rank` (ranks above it slide down), then push `way`
+    // in at rank 0.
+    const uint64_t removed = (word & low_mask) | ((word >> 4) & ~low_mask);
+    return (removed << 4) | way;
+  }
+
   uint32_t PrivSet(uint64_t line) const {
     return static_cast<uint32_t>(line) & priv_set_mask_;
   }
@@ -285,8 +327,11 @@ class MemoryModel {
   }
 
   size_t PrivBase(CoreId core, uint32_t set) const {
-    return (size_t{core} * priv_sets_ + set) * cfg_.priv_ways;
+    return (size_t{core} * priv_sets_ + set) * priv_stride_;
   }
+  // Base into the colocated tag/order/hint blocks (llc_tags_).
+  size_t LlcTagBase(uint32_t set) const { return size_t{set} * llc_stride_; }
+  // Base into the per-way coherence entries (llc_).
   size_t LlcBase(uint32_t set) const { return size_t{set} * cfg_.llc_ways; }
 
   // Probe the private cache; on hit move the way to MRU position.
@@ -302,18 +347,16 @@ class MemoryModel {
   // installed way, so a hint that still matches the tag is always the
   // order-first copy.
   bool PrivProbe(CoreId core, uint64_t line, size_t* entry_out) {
-    const uint32_t set = PrivSet(line);
-    const size_t base = PrivBase(core, set);
+    const size_t base = PrivBase(core, PrivSet(line));
     const uint64_t tag = line + 1;
-    const uint64_t* tags = priv_tags_.data() + base;
+    uint64_t* slot = priv_.data() + base;  // [tags x ways][order][hint]
     const unsigned ways = cfg_.priv_ways;
-    const size_t hint_idx = size_t{core} * priv_sets_ + set;
-    uint8_t* order = priv_order_.data() + base;
-    unsigned way = priv_hint_[hint_idx];
-    if (tags[way] != tag) {
+    uint64_t& order = slot[ways];
+    unsigned way = static_cast<unsigned>(slot[ways + 1]);
+    if ((slot[way] & kTagMask) != tag) {
       uint32_t match = 0;
       for (unsigned w = 0; w < ways; w++) {
-        match |= static_cast<uint32_t>(tags[w] == tag) << w;
+        match |= static_cast<uint32_t>((slot[w] & kTagMask) == tag) << w;
       }
       if (match == 0) {
         return false;
@@ -322,23 +365,15 @@ class MemoryModel {
         way = static_cast<unsigned>(__builtin_ctz(match));
       } else {
         // Duplicate copies: first in recency order wins (baseline semantics).
-        unsigned i = 0;
-        while ((match >> order[i] & 1u) == 0) {
-          i++;
+        unsigned r = 0;
+        while ((match >> OrderAt(order, r) & 1u) == 0) {
+          r++;
         }
-        way = order[i];
+        way = OrderAt(order, r);
       }
-      priv_hint_[hint_idx] = static_cast<uint8_t>(way);
+      slot[ways + 1] = way;
     }
-    // Move-to-front in the recency order.
-    unsigned i = 0;
-    while (order[i] != way) {
-      i++;
-    }
-    for (; i > 0; i--) {
-      order[i] = order[i - 1];
-    }
-    order[0] = static_cast<uint8_t>(way);
+    order = ToFront(order, RankOf(order, way));
     *entry_out = base + way;
     return true;
   }
@@ -346,33 +381,31 @@ class MemoryModel {
   // Insert a line into the private cache; evicts LRU way. On eviction, clears
   // the core's sharer bit in the LLC.
   size_t PrivFill(CoreId core, uint64_t line, bool exclusive) {
-    const uint32_t set = PrivSet(line);
-    const size_t base = PrivBase(core, set);
-    const unsigned victim = priv_order_[base + cfg_.priv_ways - 1];
-    const uint64_t old_tag = priv_tags_[base + victim];
+    const size_t base = PrivBase(core, PrivSet(line));
+    uint64_t* slot = priv_.data() + base;
+    const unsigned ways = cfg_.priv_ways;
+    uint64_t& order = slot[ways];
+    const unsigned victim = OrderAt(order, ways - 1);
+    const uint64_t old_tag = slot[victim] & kTagMask;
     if (old_tag != 0) {
       ClearSharer(core, old_tag - 1);
     }
-    priv_tags_[base + victim] = line + 1;
-    priv_excl_[base + victim] = exclusive ? 1 : 0;
+    slot[victim] = (line + 1) | (exclusive ? kExclBit : 0);
     // Keep the probe hint coherent: the installed copy is the one a recency
     // walk would now find first (matters when a write upgrade creates a
     // second copy of a line already in the set — see PrivProbe).
-    priv_hint_[size_t{core} * priv_sets_ + set] = static_cast<uint8_t>(victim);
-    for (unsigned j = cfg_.priv_ways - 1; j > 0; j--) {
-      priv_order_[base + j] = priv_order_[base + j - 1];
-    }
-    priv_order_[base] = static_cast<uint8_t>(victim);
+    slot[ways + 1] = victim;
+    order = ToFront(order, ways - 1);
     return base + victim;
   }
 
   void PrivInvalidate(CoreId core, uint64_t line) {
-    const uint32_t set = PrivSet(line);
-    const size_t base = PrivBase(core, set);
+    const size_t base = PrivBase(core, PrivSet(line));
+    uint64_t* slot = priv_.data() + base;
     const uint64_t tag = line + 1;
     for (unsigned w = 0; w < cfg_.priv_ways; w++) {
-      if (priv_tags_[base + w] == tag) {
-        priv_tags_[base + w] = 0;
+      if ((slot[w] & kTagMask) == tag) {
+        slot[w] = 0;
         return;
       }
     }
@@ -393,32 +426,24 @@ class MemoryModel {
   // LLC probe: same packed-tag + hint structure as PrivProbe (see its
   // comment for the equivalence argument).
   bool LlcProbe(uint32_t set, uint64_t line, unsigned* way_out, bool touch = true) {
-    const size_t base = LlcBase(set);
     const uint64_t tag = line + 1;
-    const uint64_t* tags = llc_tags_.data() + base;
+    uint64_t* slot = llc_tags_.data() + LlcTagBase(set);
     const unsigned ways = cfg_.llc_ways;
-    unsigned way = llc_hint_[set];
-    if (tags[way] != tag) {
+    unsigned way = static_cast<unsigned>(slot[ways + 1]);
+    if (slot[way] != tag) {
       unsigned w = 0;
-      while (w < ways && tags[w] != tag) {
+      while (w < ways && slot[w] != tag) {
         w++;
       }
       if (w == ways) {
         return false;
       }
       way = w;
-      llc_hint_[set] = static_cast<uint8_t>(way);
+      slot[ways + 1] = way;
     }
     if (touch) {
-      uint8_t* order = llc_order_.data() + base;
-      unsigned i = 0;
-      while (order[i] != way) {
-        i++;
-      }
-      for (; i > 0; i--) {
-        order[i] = order[i - 1];
-      }
-      order[0] = static_cast<uint8_t>(way);
+      uint64_t& order = slot[ways];
+      order = ToFront(order, RankOf(order, way));
     }
     *way_out = way;
     return true;
@@ -427,25 +452,24 @@ class MemoryModel {
   // Choose an eviction victim within `allowed_mask`: the least recently used
   // way whose index is allowed (CAT semantics).
   unsigned LlcVictim(uint32_t set, uint32_t allowed_mask) {
-    const size_t base = LlcBase(set);
+    const uint64_t order = llc_tags_[LlcTagBase(set) + cfg_.llc_ways];
     for (int i = static_cast<int>(cfg_.llc_ways) - 1; i >= 0; i--) {
-      const unsigned way = llc_order_[base + i];
+      const unsigned way = OrderAt(order, static_cast<unsigned>(i));
       if (allowed_mask & (1u << way)) {
         return way;
       }
     }
     // Mask validated non-empty at SetClosMask; unreachable.
-    return llc_order_[base + cfg_.llc_ways - 1];
+    return OrderAt(order, cfg_.llc_ways - 1);
   }
 
   void LlcInstall(uint32_t set, unsigned way, uint64_t line, uint32_t sharers,
                   int8_t owner, bool dirty) {
-    const size_t base = LlcBase(set);
-    LlcEntry& e = llc_[base + way];
-    uint64_t& tag_slot = llc_tags_[base + way];
-    if (tag_slot != 0) {
+    LlcEntry& e = llc_[LlcBase(set) + way];
+    uint64_t* slot = llc_tags_.data() + LlcTagBase(set);
+    if (slot[way] != 0) {
       // Inclusive LLC: back-invalidate private copies of the victim line.
-      const uint64_t old_line = tag_slot - 1;
+      const uint64_t old_line = slot[way] - 1;
       uint32_t s = e.sharers;
       while (s != 0) {
         const unsigned c = static_cast<unsigned>(__builtin_ctz(s));
@@ -453,21 +477,14 @@ class MemoryModel {
         PrivInvalidate(static_cast<CoreId>(c), old_line);
       }
     }
-    tag_slot = line + 1;
-    llc_hint_[set] = static_cast<uint8_t>(way);
+    slot[way] = line + 1;
+    slot[cfg_.llc_ways + 1] = way;  // hint
     e.sharers = sharers;
     e.owner = owner;
     e.dirty = dirty;
     // Installed line becomes MRU.
-    for (unsigned i = 0; i < cfg_.llc_ways; i++) {
-      if (llc_order_[base + i] == way) {
-        for (unsigned j = i; j > 0; j--) {
-          llc_order_[base + j] = llc_order_[base + j - 1];
-        }
-        llc_order_[base] = static_cast<uint8_t>(way);
-        break;
-      }
-    }
+    uint64_t& order = slot[cfg_.llc_ways];
+    order = ToFront(order, RankOf(order, way));
   }
 
   Tick AccessLine(CoreId core, ClosId clos, Stage stage, uint64_t line, bool write,
@@ -477,11 +494,16 @@ class MemoryModel {
     size_t pe;
     const uint32_t set = LlcSet(line);
     if (PrivProbe(core, line, &pe)) {
-      if (!write || priv_excl_[pe]) {
+      if (!write || (priv_[pe] & kExclBit) != 0) {
         sc.priv_hits++;
-        if (write) {
-          MarkDirty(set, line);
-        }
+        // Write to an exclusive private copy: no LLC dirty-mark needed. An
+        // exclusive copy is only ever installed by a write path, and every
+        // write path (LLC hit-write, miss-install, DDIO update) sets the LLC
+        // entry dirty at that moment; the copy cannot outlive that dirty bit
+        // because LLC eviction back-invalidates private copies. So the LLC
+        // probe the old MarkDirty did here always found dirty == true
+        // already — dropping it removes an LLC tag scan from the hottest
+        // AccessLine path without changing any observable state.
         *priv_hit_out = true;
         return cfg_.priv_hit_ns;
       }
@@ -531,13 +553,6 @@ class MemoryModel {
     return lat;
   }
 
-  void MarkDirty(uint32_t set, uint64_t line) {
-    unsigned way;
-    if (LlcProbe(set, line, &way, /*touch=*/false)) {
-      llc_[LlcBase(set) + way].dirty = true;
-    }
-  }
-
   // PrivFill may evict the very line just installed elsewhere in the set walk
   // and clear sharer bits; re-assert this core's bit.
   void RefreshSharersAfterFill(uint32_t set, uint64_t line, CoreId core,
@@ -583,14 +598,23 @@ class MemoryModel {
   uint32_t llc_sets_;
   uint32_t llc_set_mask_;
 
-  std::vector<uint64_t> priv_tags_;   // [core][set][way] -> line+1 (0 invalid)
-  std::vector<uint8_t> priv_excl_;    // [core][set][way] -> exclusive?
-  std::vector<uint8_t> priv_order_;   // [core][set][i] -> way, MRU first
-  std::vector<uint8_t> priv_hint_;    // [core][set] -> last-hit way
-  std::vector<LlcEntry> llc_;         // [set][way] coherence state
-  std::vector<uint64_t> llc_tags_;    // [set][way] -> line+1 (0 invalid), packed
-  std::vector<uint8_t> llc_order_;    // [set][i] -> way, MRU first
-  std::vector<uint8_t> llc_hint_;     // [set] -> last-hit way
+  // Colocated set blocks: one probe touches one contiguous run of u64s
+  // instead of striding three arrays (tags / recency / hint), which is worth
+  // a sizable slice of AccessLine's wall time (DESIGN.md §13). Layout per
+  // set, stride = ways + 2:
+  //   [0, ways)   tag words: line+1 (0 invalid); private tags carry the
+  //               exclusive flag in bit 63 (kExclBit) — probes compare under
+  //               kTagMask, so duplicate copies with different exclusivity
+  //               still match as the same line
+  //   [ways]      nibble-packed recency word (see IdentityOrder)
+  //   [ways + 1]  last-hit way hint
+  static constexpr uint64_t kExclBit = uint64_t{1} << 63;
+  static constexpr uint64_t kTagMask = kExclBit - 1;
+  unsigned priv_stride_ = 0;
+  unsigned llc_stride_ = 0;
+  std::vector<uint64_t> priv_;      // [core][set] colocated block
+  std::vector<LlcEntry> llc_;       // [set][way] coherence state
+  std::vector<uint64_t> llc_tags_;  // [set] colocated block (no excl bit)
 
   uint32_t EffectiveMask(ClosId clos) const {
     const uint32_t m = clos_masks_[clos] & ~stolen_mask_;

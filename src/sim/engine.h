@@ -153,7 +153,8 @@ class Engine {
   };
 
   Engine() {
-    heap_.reserve(kHeapReserve);
+    far_keys_.reserve(kHeapReserve);
+    far_cold_.reserve(kHeapReserve);
     nodes_.reserve(kNodeReserve);
     buckets_.assign(kRingSpan, Bucket{});
     std::fill(std::begin(bits_), std::end(bits_), 0);
@@ -211,8 +212,7 @@ class Engine {
         }
       }
       seq_ = seq + 1;
-      heap_.push_back(Event{t, prio, seq, h});
-      std::push_heap(heap_.begin(), heap_.end(), EventAfter{});
+      FarPush(t, prio, seq, h);
     }
     pending_++;
     if (pending_ > stats_.peak_heap) {
@@ -317,12 +317,12 @@ class Engine {
   Tick NextEventTick() {
     if (ring_count_ != 0) {
       const Tick rt = FirstRingTick();
-      if (!heap_.empty() && heap_.front().t < rt) {
-        return heap_.front().t;
+      if (!far_keys_.empty() && far_keys_[0].t < rt) {
+        return far_keys_[0].t;
       }
       return rt;
     }
-    return heap_.empty() ? kNever : heap_.front().t;
+    return far_keys_.empty() ? kNever : far_keys_[0].t;
   }
 
   // Attach this engine to a partitioned run: `router` receives every
@@ -348,23 +348,81 @@ class Engine {
   static constexpr size_t kNodeReserve = 4096;
   static constexpr uint32_t kMaxHandoffChain = 128;
 
-  struct Event {
+  // Far-heap event record, split hot/cold: sifting compares only the 16-byte
+  // (t, prio) key, so the arrays the comparison loop walks stay twice as
+  // dense as the old 32-byte {t, prio, seq, h} node (half the cache lines per
+  // sift). The cold half — seq (the final tiebreak, consulted only on a full
+  // (t, prio) collision) and the coroutine handle (touched once per
+  // push/pop) — moves in lockstep in a parallel array. Pop order is the
+  // exact (t, prio, seq) total order of the previous std::push_heap/pop_heap
+  // implementation: a heap pops in comparator order regardless of its
+  // internal layout when the comparator is a strict total order, and seq is
+  // unique.
+  struct FarKey {
     Tick t;
     uint64_t prio;  // same-tick ordering key: == seq unless perturbation is on
-    uint64_t seq;   // monotonic; final FIFO tiebreak -> determinism either way
+  };
+  struct FarCold {
+    uint64_t seq;  // monotonic; final FIFO tiebreak -> determinism either way
     std::coroutine_handle<> h;
   };
 
-  // Min-heap ordering for std::push_heap/std::pop_heap (which build a
-  // max-heap w.r.t. the comparator, so "after" == greater).
-  struct EventAfter {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.t != b.t) {
-        return a.t > b.t;
-      }
-      return a.prio != b.prio ? a.prio > b.prio : a.seq > b.seq;
+  // True when event `a` dispatches strictly before event `b`.
+  bool FarBefore(size_t a, size_t b) const {
+    const FarKey& ka = far_keys_[a];
+    const FarKey& kb = far_keys_[b];
+    if (ka.t != kb.t) {
+      return ka.t < kb.t;
     }
-  };
+    if (UTPS_LIKELY(ka.prio != kb.prio)) {
+      return ka.prio < kb.prio;
+    }
+    return far_cold_[a].seq < far_cold_[b].seq;
+  }
+
+  void FarSwap(size_t a, size_t b) {
+    std::swap(far_keys_[a], far_keys_[b]);
+    std::swap(far_cold_[a], far_cold_[b]);
+  }
+
+  void FarPush(Tick t, uint64_t prio, uint64_t seq, std::coroutine_handle<> h) {
+    far_keys_.push_back(FarKey{t, prio});
+    far_cold_.push_back(FarCold{seq, h});
+    size_t i = far_keys_.size() - 1;
+    while (i != 0) {
+      const size_t parent = (i - 1) / 2;
+      if (!FarBefore(i, parent)) {
+        break;
+      }
+      FarSwap(i, parent);
+      i = parent;
+    }
+  }
+
+  // Removes the root (earliest) event. Requires non-empty.
+  void FarPopTop() {
+    const size_t n = far_keys_.size() - 1;
+    if (n != 0) {
+      far_keys_[0] = far_keys_[n];
+      far_cold_[0] = far_cold_[n];
+    }
+    far_keys_.pop_back();
+    far_cold_.pop_back();
+    size_t i = 0;
+    for (;;) {
+      const size_t l = 2 * i + 1;
+      if (l >= n) {
+        break;
+      }
+      const size_t r = l + 1;
+      const size_t c = (r < n && FarBefore(r, l)) ? r : l;
+      if (!FarBefore(c, i)) {
+        break;
+      }
+      FarSwap(i, c);
+      i = c;
+    }
+  }
 
   struct RingNode {
     std::coroutine_handle<> h;
@@ -442,7 +500,7 @@ class Engine {
   // <= until; ring and heap are lazily merged head-against-top.
   bool PopNext(Tick until, Tick* t_out, std::coroutine_handle<>* h_out) {
     const bool have_ring = ring_count_ != 0;
-    if (!have_ring && heap_.empty()) {
+    if (!have_ring && far_keys_.empty()) {
       return false;
     }
     Tick rt = kMaxTick;
@@ -451,23 +509,29 @@ class Engine {
       rt = FirstRingTick();
       idx = static_cast<uint32_t>(rt) & kRingMask;
     }
+    // Early-out on time alone, before the ring-head node loads the tie-break
+    // needs: whichever side wins the tie-break has the minimum t, so if that
+    // minimum is beyond `until` nothing pops. NextRunnable probes PopNext on
+    // every suspension and most probes fail here — this keeps them to the
+    // bitmap scan plus two compares.
+    const Tick ft = far_keys_.empty() ? kMaxTick : far_keys_[0].t;
+    if ((rt < ft ? rt : ft) > until) {
+      return false;
+    }
     bool use_ring = have_ring;
-    if (have_ring && !heap_.empty()) {
+    if (have_ring && !far_keys_.empty()) {
       // Ring nodes were scheduled unperturbed: their prio == seq.
-      const Event& top = heap_.front();
+      const FarKey& top = far_keys_[0];
       const uint64_t rseq = nodes_[buckets_[idx].head].seq;
       if (top.t != rt) {
         use_ring = rt < top.t;
       } else if (top.prio != rseq) {
         use_ring = rseq < top.prio;
       } else {
-        use_ring = rseq < top.seq;
+        use_ring = rseq < far_cold_[0].seq;
       }
     }
     if (use_ring) {
-      if (rt > until) {
-        return false;
-      }
       Bucket& b = buckets_[idx];
       const uint32_t n = b.head;
       RingNode& node = nodes_[n];
@@ -482,13 +546,12 @@ class Engine {
       free_node_ = n;
       ring_count_--;
     } else {
-      if (heap_.front().t > until) {
+      if (far_keys_[0].t > until) {
         return false;
       }
-      *t_out = heap_.front().t;
-      std::pop_heap(heap_.begin(), heap_.end(), EventAfter{});
-      *h_out = heap_.back().h;  // moved-from slot, no copy of the Event
-      heap_.pop_back();
+      *t_out = far_keys_[0].t;
+      *h_out = far_cold_[0].h;
+      FarPopTop();
     }
     pending_--;
     return true;
@@ -516,8 +579,10 @@ class Engine {
   uint32_t handoff_chain_ = 0;   // symmetric transfers since last loop dispatch
   uint32_t nested_resume_depth_ = 0;
 
-  // Far events (beyond the ring window, or perturbed).
-  std::vector<Event> heap_;
+  // Far events (beyond the ring window, or perturbed), hot/cold split:
+  // far_keys_[i] and far_cold_[i] describe the same event.
+  std::vector<FarKey> far_keys_;
+  std::vector<FarCold> far_cold_;
 
   // Near-future bucket ring.
   std::vector<Bucket> buckets_;        // [kRingSpan]

@@ -33,7 +33,31 @@ struct BatchCtl {
     std::coroutine_handle<> h;
     Tick resume_at;
   };
-  std::vector<Parked> waiting;
+  // Inline storage: a BatchCtl lives in its driver's coroutine frame and
+  // holds at most one parked handle per batched task, so a fixed array
+  // covers every batch size in the tree (CrMrRing::kMaxBatch == 20) with no
+  // heap allocation — batch drivers run once per ring slot, and the
+  // per-batch vector growth used to be the simulator's single largest
+  // allocation source (DESIGN.md §13). The capacity check is the
+  // regression guard: a future larger batch sweep must raise kInlineCap
+  // rather than silently reintroduce churn.
+  static constexpr uint32_t kInlineCap = 32;
+  Parked waiting[kInlineCap];
+  uint32_t count = 0;
+
+  bool Empty() const { return count == 0; }
+  void Push(std::coroutine_handle<> h, Tick resume_at) {
+    UTPS_CHECK_MSG(count < kInlineCap,
+                   "BatchCtl overflow: batch larger than kInlineCap");
+    waiting[count++] = Parked{h, resume_at};
+  }
+  // Swap-removes entry i (order is irrelevant: the driver always scans for
+  // the minimum resume_at).
+  Parked Take(uint32_t i) {
+    const Parked p = waiting[i];
+    waiting[i] = waiting[--count];
+    return p;
+  }
 };
 
 // Suspends the fiber and resumes it `extra` ns after its current local time.
@@ -177,7 +201,7 @@ inline std::coroutine_handle<> SuspendAwaiter::await_suspend(
     // coroutines. The accrued CPU time (ctx->pending) stays on the core
     // clock — the driver's next action happens after it. Control must return
     // to the driver's manual resume loop, never jump to another fiber.
-    ctx->batch->waiting.push_back(BatchCtl::Parked{h, t});
+    ctx->batch->Push(h, t);
     return std::noop_coroutine();
   }
   ctx->pending = 0;

@@ -18,7 +18,6 @@
 
 #include <algorithm>
 #include <cstring>
-#include <deque>
 #include <utility>
 #include <vector>
 
@@ -142,6 +141,68 @@ class LinkSerializer {
   double frac_ = 0.0;
 };
 
+// Power-of-two ring buffer of in-flight NicMessages: the slot array is the
+// message slab — messages live by value in pre-allocated slots recycled
+// through the head/tail cursors, so the steady state performs zero heap
+// allocations per message (a deque would churn one ~512B chunk every four
+// messages; DESIGN.md §13). Capacity doubles on overflow and then sticks:
+// after the warm-up high-water mark no allocation ever happens again.
+class MsgRing {
+ public:
+  bool empty() const { return head_ == tail_; }
+  size_t size() const { return head_ - tail_; }
+
+  NicMessage& front() { return slots_[tail_ & mask_]; }
+  const NicMessage& front() const { return slots_[tail_ & mask_]; }
+
+  void push_back(const NicMessage& m) {
+    if (UTPS_UNLIKELY(head_ - tail_ == slots_.size())) {
+      Grow();
+    }
+    slots_[head_++ & mask_] = m;
+  }
+
+  void pop_front() { tail_++; }  // NicMessage is trivially destructible
+
+  // Fault-path insert keeping the ring sorted by arrival tick: equivalent to
+  // std::upper_bound + insert (equal ticks keep FIFO order among themselves).
+  // Shifts from the back — fault delays are bounded, so the scan is short,
+  // and the path only runs with a fault hook installed.
+  void insert_sorted(const NicMessage& m) {
+    if (UTPS_UNLIKELY(head_ - tail_ == slots_.size())) {
+      Grow();
+    }
+    uint64_t i = head_++;
+    while (i != tail_ && slots_[(i - 1) & mask_].arrival_tick > m.arrival_tick) {
+      slots_[i & mask_] = slots_[(i - 1) & mask_];
+      i--;
+    }
+    slots_[i & mask_] = m;
+  }
+
+  void clear() { tail_ = head_; }
+
+ private:
+  void Grow() {
+    const size_t cap = slots_.empty() ? kInitialCap : slots_.size() * 2;
+    std::vector<NicMessage> next(cap);
+    const size_t n = head_ - tail_;
+    for (size_t i = 0; i < n; i++) {
+      next[i] = slots_[(tail_ + i) & mask_];
+    }
+    slots_.swap(next);
+    mask_ = cap - 1;
+    tail_ = 0;
+    head_ = n;
+  }
+
+  static constexpr size_t kInitialCap = 64;
+  std::vector<NicMessage> slots_;
+  uint64_t mask_ = 0;
+  uint64_t head_ = 0;  // push cursor (monotonic; slot = cursor & mask_)
+  uint64_t tail_ = 0;  // pop cursor
+};
+
 class Nic {
  public:
   Nic(Engine* eng, MemoryModel* mem, const NicConfig& cfg, unsigned num_rings)
@@ -228,7 +289,7 @@ class Nic {
 
   // Pop the next message that has arrived at the server by `now`.
   bool PopArrived(unsigned ring, Tick now, NicMessage* out) {
-    auto& q = rings_[ring];
+    MsgRing& q = rings_[ring];
     if (q.empty() || q.front().arrival_tick > now) {
       return false;
     }
@@ -245,7 +306,7 @@ class Nic {
                     "at %llu: single-event pending exceeded the quantum",
                     static_cast<unsigned long long>(eng_->now()),
                     static_cast<unsigned long long>(q.front().issue_tick));
-    *out = std::move(q.front());
+    *out = q.front();
     q.pop_front();
     return true;
   }
@@ -259,7 +320,7 @@ class Nic {
   // already scheduled as engine events still deliver; the client-side gate
   // discards duplicates. Unused in fault-free runs (byte-identical).
   void DropPending() {
-    for (auto& q : rings_) {
+    for (MsgRing& q : rings_) {
       q.clear();
     }
   }
@@ -429,15 +490,8 @@ class Nic {
   // Sorted insert by arrival tick: fault delays/duplicates can reorder
   // deliveries relative to send order, but the queue itself stays ordered.
   void InsertArrival(unsigned ring, const NicMessage& msg) {
-    auto& q = rings_[ring];
-    if (q.empty() || q.back().arrival_tick <= msg.arrival_tick) {
-      q.push_back(msg);
-    } else {
-      auto it = std::upper_bound(
-          q.begin(), q.end(), msg.arrival_tick,
-          [](Tick t, const NicMessage& m) { return t < m.arrival_tick; });
-      q.insert(it, msg);
-    }
+    MsgRing& q = rings_[ring];
+    q.insert_sorted(msg);
     if (q.size() > peak_ring_depth_) {
       peak_ring_depth_ = q.size();
     }
@@ -453,7 +507,7 @@ class Nic {
   NicFaultHook* hook_ = nullptr;
   LinkSerializer rx_link_;
   LinkSerializer tx_link_;
-  std::vector<std::deque<NicMessage>> rings_;
+  std::vector<MsgRing> rings_;
   uint64_t rx_messages_ = 0;
   uint64_t tx_messages_ = 0;
   uint64_t rx_bytes_ = 0;

@@ -183,6 +183,9 @@ class ParallelSim final : public CrossRouter {
   explicit ParallelSim(const Config& cfg) : cfg_(cfg) {
     UTPS_CHECK(cfg_.partitions >= 1);
     UTPS_CHECK(cfg_.quantum >= 1);
+    // Barrier drains reuse one scratch vector; size it for a full mailbox up
+    // front so steady-state barriers never allocate.
+    scratch_.reserve(cfg_.mailbox_slots);
     parts_.reserve(cfg_.partitions);
     for (unsigned p = 0; p < cfg_.partitions; p++) {
       parts_.push_back(std::make_unique<Partition>(cfg_.mailbox_slots));

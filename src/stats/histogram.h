@@ -28,6 +28,26 @@ class Histogram {
     }
   }
 
+  // Batched recording (see stats/staged.h): identical totals to n Record
+  // calls — bucket increments and sums are commutative — but the running
+  // aggregates stay in registers across the batch.
+  void RecordBulk(const uint64_t* values, unsigned n) {
+    uint64_t s = 0;
+    uint64_t mx = max_;
+    uint64_t mn = min_;
+    for (unsigned i = 0; i < n; i++) {
+      const uint64_t v = values[i];
+      counts_[BucketOf(v)]++;
+      s += v;
+      mx = v > mx ? v : mx;
+      mn = v < mn ? v : mn;
+    }
+    total_ += n;
+    sum_ += s;
+    max_ = mx;
+    min_ = mn;
+  }
+
   void Merge(const Histogram& other) {
     for (unsigned i = 0; i < kNumBuckets; i++) {
       counts_[i] += other.counts_[i];

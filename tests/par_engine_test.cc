@@ -170,6 +170,17 @@ TEST(ParEngine, MailboxFloodNearQuantumBoundarySpillsAndStaysExact) {
   }
 }
 
+// Regression guard for the preallocated mailbox fast path: at the default
+// ring size the whole ping-pong run must stay on the lock-free ring — zero
+// overflow spills means the reserve in ParallelSim's constructor (ring slots
+// and the epoch-drain scratch vector) still covers steady-state traffic
+// without falling back to the mutex path.
+TEST(ParEngine, DefaultMailboxSizeNeverSpills) {
+  const PingRun par = RunPing(4);
+  EXPECT_EQ(par.overflows, 0u);
+  EXPECT_GT(par.cross_msgs, 0u);
+}
+
 // ---------------------------------------------------------------------------
 // Window skipping: sparse far-apart wakeups must cost barriers proportional
 // to the number of events, not to horizon / quantum.
