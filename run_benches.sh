@@ -36,6 +36,7 @@ for b in build/bench/*; do
     selfperf) continue ;;  # host-perf tracker, run separately below
     fig18_parallel_sim) continue ;;  # host-thread sweep, run separately below
     fig16_at_scale) continue ;;  # 10M-key sampled sweep, run separately below
+    fig19_cluster) continue ;;  # multi-node cluster sweep, run separately below
     micro_components) continue ;;  # google-benchmark micro bench, not a figure
   esac
   echo "=== $name ($(date +%H:%M:%S)) ==="
@@ -84,3 +85,10 @@ MUTPS_PARSIM_OUT=results/BENCH_parsim.json ./build/bench/fig18_parallel_sim \
 echo "=== fig16_at_scale ($(date +%H:%M:%S)) ==="
 MUTPS_ATSCALE_OUT=results/BENCH_atscale.json ./build/bench/fig16_at_scale \
   2>&1 | tee results/fig16_at_scale.txt
+
+# Multi-node cluster (DESIGN.md §14): 1/2/4/8-node scaling with chain
+# replication on, plus the flash-crowd leg — hotset shift mid-run, live
+# shard migration by the rebalancer, throughput/P99 timeline and recovery.
+echo "=== fig19_cluster ($(date +%H:%M:%S)) ==="
+MUTPS_CLUSTER_OUT=results/BENCH_cluster.json ./build/bench/fig19_cluster \
+  2>&1 | tee results/fig19_cluster.txt

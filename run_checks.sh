@@ -17,6 +17,11 @@
 #                   crash + replay histories under the durability-augmented
 #                   checker across 3 fault profiles x 5 seeds x 3 commit
 #                   modes (DESIGN.md §10). Implied by MUTPS_DST=1.
+# MUTPS_DST_CLUSTER=1 additionally runs the cluster DST sweep: primary-crash
+#                   failover, migration racing retransmits, and partition-heal
+#                   linearizability at 20 seeds each, on the serial engine and
+#                   again under MUTPS_SIM_THREADS=4 (DESIGN.md §14). Implied
+#                   by MUTPS_DST=1.
 # MUTPS_TSAN=1      additionally builds the "tsan" preset (build-tsan/) and
 #                   runs the parallel-backend tests under ThreadSanitizer —
 #                   the race-freedom CI job for sim/parallel.h (DESIGN.md §11).
@@ -141,6 +146,19 @@ if [ "${MUTPS_DST_WAL:-0}" != "0" ] || [ "${MUTPS_DST:-0}" != "0" ]; then
   MUTPS_DST_FAULT_SEEDS="${MUTPS_DST_FAULT_SEEDS:-2}" \
     ./build/tests/dst/dst_fault_test --gtest_filter='DstWal.*'
   echo "=== crash-recovery sweep passed ==="
+fi
+
+if [ "${MUTPS_DST_CLUSTER:-0}" != "0" ] || [ "${MUTPS_DST:-0}" != "0" ]; then
+  echo "=== DST cluster sweep (failover/migration/partition x 20 seeds) ==="
+  # 3 fixed seeds + 17 extra = 20 seeds per profile; then the same sweep on
+  # the parallel backend (cluster mode is deterministic per backend, see
+  # DESIGN.md §14, so each backend is swept in its own right).
+  MUTPS_DST_FAULT_SEEDS="${MUTPS_DST_FAULT_SEEDS:-17}" \
+    ./build/tests/dst/dst_fault_test --gtest_filter='DstCluster.*'
+  echo "=== cluster sweep passed (serial) ==="
+  MUTPS_DST_FAULT_SEEDS="${MUTPS_DST_FAULT_SEEDS:-17}" MUTPS_SIM_THREADS=4 \
+    ./build/tests/dst/dst_fault_test --gtest_filter='DstCluster.*'
+  echo "=== cluster sweep passed (MUTPS_SIM_THREADS=4) ==="
 fi
 
 if [ "${MUTPS_DST:-0}" != "0" ]; then

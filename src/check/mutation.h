@@ -27,6 +27,13 @@ enum class Mode : uint8_t {
   // can straddle another writer's PUT to the same key, so a later read returns
   // the resurrected old value — a stale-read linearizability violation.
   kDropDedupWindow = 3,
+  // A cluster node skips the per-shard ownership/epoch check (cluster.cc):
+  // after a migration it keeps serving (and acking writes against its stale
+  // replica of) a shard it handed off, instead of answering NOT_OWNER. A
+  // straggler write applied there never reaches the new primary, so reads
+  // routed by the flipped ring miss an acked write (stale read) and the
+  // primary/backup replica audit sees divergent copies.
+  kDropRingEpochCheck = 4,
 };
 
 inline Mode g_mode = Mode::kNone;
@@ -73,10 +80,19 @@ inline bool DropDedupWindow() {
   g_fired++;
   return true;
 }
+
+inline bool DropRingEpochCheck() {
+  if (g_mode != Mode::kDropRingEpochCheck) {
+    return false;
+  }
+  g_fired++;
+  return true;
+}
 #else
 inline constexpr bool DropSeqlockBump() { return false; }
 inline constexpr bool SkipRingTailPublish() { return false; }
 inline constexpr bool DropDedupWindow() { return false; }
+inline constexpr bool DropRingEpochCheck() { return false; }
 #endif
 
 }  // namespace utps::mut

@@ -65,10 +65,26 @@ struct FaultConfig {
 
   uint64_t seed = 1;
 
+  // Node-scoped cluster faults (src/cluster): crash-stop a whole server node
+  // (its workers park and its NICs drop everything queued), or cut a node off
+  // the network for a window (both directions drop; the node itself keeps
+  // running and self-fences once its lease expires). Interpreted by the
+  // cluster harness — FaultInjector::Install and enabled() deliberately
+  // ignore them, so single-node paths never see a cluster-only plan.
+  int crash_node = -1;
+  sim::Tick node_crash_at_ns = 100 * sim::kUsec;
+  int partition_node = -1;
+  sim::Tick partition_start_ns = 40 * sim::kUsec;
+  sim::Tick partition_stop_ns = 140 * sim::kUsec;
+
   bool enabled() const {
     return drop_prob > 0.0 || dup_prob > 0.0 || delay_prob > 0.0 ||
            link_scale != 1.0 || straggler_core >= 0 || crash_worker >= 0 ||
            llc_steal_ways > 0;
+  }
+
+  bool cluster_enabled() const {
+    return crash_node >= 0 || partition_node >= 0;
   }
 };
 
@@ -84,6 +100,9 @@ struct FaultConfig {
 //   llc:N                    noisy neighbor occupies N LLC ways
 //   startus:T stopus:T       fault window bounds, µs
 //   seed:S                   fault-plan RNG seed
+//   nodecrash:N nodecrashus:T       cluster: crash-stop node N at T µs
+//   partition:N partstartus:T partstopus:T   cluster: cut node N off the
+//                            network during [T_start, T_stop) µs
 inline FaultConfig ParseFaultProfile(const std::string& profile) {
   FaultConfig cfg;
   size_t pos = 0;
@@ -134,6 +153,19 @@ inline FaultConfig ParseFaultProfile(const std::string& profile) {
                     sim::kUsec;
     } else if (key == "seed") {
       cfg.seed = std::strtoull(val, nullptr, 10);
+    } else if (key == "nodecrash") {
+      cfg.crash_node = static_cast<int>(std::strtol(val, nullptr, 10));
+    } else if (key == "nodecrashus") {
+      cfg.node_crash_at_ns =
+          static_cast<sim::Tick>(std::strtoull(val, nullptr, 10)) * sim::kUsec;
+    } else if (key == "partition") {
+      cfg.partition_node = static_cast<int>(std::strtol(val, nullptr, 10));
+    } else if (key == "partstartus") {
+      cfg.partition_start_ns =
+          static_cast<sim::Tick>(std::strtoull(val, nullptr, 10)) * sim::kUsec;
+    } else if (key == "partstopus") {
+      cfg.partition_stop_ns =
+          static_cast<sim::Tick>(std::strtoull(val, nullptr, 10)) * sim::kUsec;
     }
   }
   return cfg;

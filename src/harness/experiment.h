@@ -101,6 +101,20 @@ struct ExperimentConfig {
   sim::SampleConfig sample;
 };
 
+// Per-node outcome of a cluster run (src/cluster). One entry per server node
+// in ExperimentResult::node_counters; empty for single-node experiments.
+struct NodeCounters {
+  uint64_t ops_served = 0;        // data ops this node executed as primary
+  uint64_t repl_sent = 0;         // replication RPCs sent as primary
+  uint64_t repl_applied = 0;      // replication ops applied as backup
+  uint64_t not_owner = 0;         // requests answered NOT_OWNER / FROZEN
+  uint64_t migrations_out = 0;    // shards this node handed off
+  uint64_t migrations_in = 0;     // shards this node took over
+  uint64_t promotions = 0;        // backup -> primary promotions
+  bool crashed = false;           // node was crash-stopped by the fault plan
+  bool fenced = false;            // node self-fenced on lease expiry
+};
+
 struct ExperimentResult {
   double mops = 0.0;
   uint64_t ops = 0;
@@ -164,6 +178,11 @@ struct ExperimentResult {
   // zero-allocation steady-state invariant (DESIGN.md §13) is enforced by
   // tests/alloc_regression_test against this value.
   uint64_t measure_allocs = 0;
+  // Cluster outcome (src/cluster): per-node counters plus the final ring
+  // epoch. Empty / zero for single-node experiments.
+  std::vector<NodeCounters> node_counters;
+  uint64_t ring_epoch = 0;
+  uint64_t shard_migrations = 0;  // completed shard migrations, cluster-wide
 };
 
 // Test hook: when non-null, called by TestBed::Run at the measure-phase

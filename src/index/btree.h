@@ -35,6 +35,20 @@ class BTreeIndex final : public KvIndex {
   uint64_t SizeDirect() const override { return size_; }
   bool AuditDirect(std::string* err) const override;
 
+  // Ascending key order via the leaf chain.
+  void ForEachDirect(
+      const std::function<void(Key, const Item*)>& fn) const override {
+    const Node* n = root_;
+    while (n->is_leaf == 0) {
+      n = static_cast<const Node*>(n->ptrs[0]);
+    }
+    for (; n != nullptr; n = n->right) {
+      for (int i = 0; i < n->nkeys; i++) {
+        fn(n->keys[i], static_cast<const Item*>(n->ptrs[i]));
+      }
+    }
+  }
+
   // Bulk load from strictly ascending (key, item) pairs; much faster than
   // repeated InsertDirect for population. Must be called on an empty tree.
   void BulkLoadDirect(const std::vector<std::pair<Key, Item*>>& sorted);

@@ -29,6 +29,19 @@ class CuckooIndex final : public KvIndex {
   uint64_t SizeDirect() const override { return size_; }
   bool AuditDirect(std::string* err) const override;
 
+  // Bucket-array order: deterministic because bucket placement is a pure
+  // function of the (seeded) hash and the insertion/kick history.
+  void ForEachDirect(
+      const std::function<void(Key, const Item*)>& fn) const override {
+    for (uint64_t b = 0; b < nbuckets_; b++) {
+      for (unsigned s = 0; s < kSlots; s++) {
+        if (buckets_[b].items[s] != nullptr) {
+          fn(buckets_[b].keys[s], buckets_[b].items[s]);
+        }
+      }
+    }
+  }
+
   sim::Task<Item*> CoGet(sim::ExecCtx& ctx, Key key) override;
   sim::Task<bool> CoInsert(sim::ExecCtx& ctx, Key key, Item* item) override;
   sim::Task<bool> CoErase(sim::ExecCtx& ctx, Key key) override;

@@ -12,6 +12,7 @@
 #define UTPS_INDEX_INDEX_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "sim/exec.h"
@@ -39,6 +40,14 @@ class KvIndex {
     (void)err;
     return true;
   }
+
+  // Host-side iteration over every live (key, item) pair, in an order that is
+  // deterministic for a deterministic mutation history (bucket-array order for
+  // the hash index, key order for the tree). Used by cluster shard migration
+  // to snapshot a frozen shard and by replica audits; never called while
+  // simulated ops are in flight.
+  virtual void ForEachDirect(
+      const std::function<void(Key, const Item*)>& fn) const = 0;
 
   // -------------------------------------------------------- simulated plane
   // Returns the item pointer or nullptr.

@@ -24,6 +24,7 @@
 
 #include "check/mutation.h"
 #include "common/macros.h"
+#include "common/rng.h"
 #include "sim/arena.h"
 #include "sim/nic.h"
 #include "sim/task.h"
@@ -248,6 +249,15 @@ struct RetryPolicy {
   sim::Tick timeout_ns = 30 * sim::kUsec;       // first-attempt timeout
   sim::Tick max_timeout_ns = 500 * sim::kUsec;  // backoff cap
   sim::Tick poll_ns = 2 * sim::kUsec;           // completion poll quantum
+  // Backoff jitter: each backed-off timeout is stretched by a uniform draw in
+  // [0, jitter_frac * timeout], taken from `rng` — which MUST be the caller's
+  // own per-stream generator. Drawing from a shared sequence would entangle
+  // retry schedules across streams: adding cluster-internal replication RPCs
+  // (src/cluster) would shift every client's draws and perturb fig15's
+  // committed rows. Null rng or zero frac keeps the legacy pure exponential
+  // doubling, byte-identical to a build without jitter support.
+  double jitter_frac = 0.0;
+  Rng* rng = nullptr;
 };
 
 inline sim::Task<unsigned> RpcCallWithRetry(sim::ExecCtx& ctx, sim::Nic& nic,
@@ -278,6 +288,13 @@ inline sim::Task<unsigned> RpcCallWithRetry(sim::ExecCtx& ctx, sim::Nic& nic,
       co_return attempts;
     }
     timeout = timeout * 2 < pol.max_timeout_ns ? timeout * 2 : pol.max_timeout_ns;
+    if (pol.rng != nullptr && pol.jitter_frac > 0.0) {
+      const auto span = static_cast<sim::Tick>(
+          pol.jitter_frac * static_cast<double>(timeout));
+      if (span > 0) {
+        timeout += pol.rng->NextBounded(span);
+      }
+    }
   }
 }
 
@@ -329,6 +346,31 @@ class DedupWindow {
   // Duplicate deliveries suppressed after/before the first apply completed.
   uint64_t dup_done() const { return dup_done_; }
   uint64_t dup_inflight() const { return dup_inflight_; }
+
+  // ------------------------------------------------- migration handoff
+  // Shard migration (src/cluster) moves a shard's dedup knowledge to the new
+  // owner so a retransmit that lands after the ownership flip still reads
+  // kDone. Per-stream watermarks are global maxima over the ops a node saw,
+  // and client streams run one op at a time, so max-merging a source node's
+  // whole table into the destination is safe: any rid still retryable is
+  // strictly above every watermark recorded for its stream anywhere except
+  // at nodes that applied that exact op.
+  template <typename Fn>
+  void ForEachEntry(Fn&& fn) const {
+    for (const auto& [stream, e] : ents_) {
+      fn(stream, e.started, e.done);
+    }
+  }
+
+  void MergeFloor(uint32_t stream, uint32_t started, uint32_t done) {
+    Ent& e = ents_[stream];
+    if (started > e.started) {
+      e.started = started;
+    }
+    if (done > e.done) {
+      e.done = done;
+    }
+  }
 
  private:
   struct Ent {

@@ -53,6 +53,14 @@ struct MachineConfig {
   // DDIO: the two "rightmost" LLC ways (we use way indices 0 and 1).
   unsigned ddio_ways = 2;
 
+  // Cluster topology (src/cluster): the scale-out harness instantiates one
+  // machine of this shape per node and derives the node-to-node control NIC
+  // from the internode link parameters below. cluster_nodes == 1 keeps every
+  // single-node code path untouched — no cluster object is ever built.
+  unsigned cluster_nodes = 1;
+  Tick internode_rtt_ns = 3000;     // node-to-node RTT (intra-rack, > client rtt)
+  double internode_bw_gbps = 100.0; // per-link internode bandwidth
+
   uint32_t DdioMask() const { return (1u << ddio_ways) - 1; }
   uint32_t AllWaysMask() const { return (1u << llc_ways) - 1; }
 };

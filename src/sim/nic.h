@@ -238,10 +238,6 @@ class Nic {
       cli.eng->cross()->PostNicSend(msg.src_part, this, ring, msg);
       return;
     }
-    if (UTPS_UNLIKELY(hook_ != nullptr)) {
-      ClientSendFaulty(cli, ring, msg);
-      return;
-    }
     ApplyRemoteSend(ring, msg);
   }
 
@@ -250,8 +246,15 @@ class Nic {
   // inline path; for a cross-partition send it is the barrier-side replay:
   // conservative quanta guarantee issue_tick is never behind this
   // partition's link state, so departure/arrival arithmetic is the same as
-  // if the sender had run inline.
+  // if the sender had run inline. Fault decisions live here too — barriers
+  // replay sends in serial send order, so the injector's per-message RNG
+  // draw sequence is identical on the serial and parallel backends (which is
+  // what lets cluster DST runs keep fault plans on the partitioned engine).
   void ApplyRemoteSend(unsigned ring, NicMessage msg) {
+    if (UTPS_UNLIKELY(hook_ != nullptr)) {
+      ApplySendFaulty(ring, msg);
+      return;
+    }
     // Fast-forward bypasses the token buckets but keeps the RTT/2 delivery
     // delay: the parallel backend's conservative quantum is exactly RTT/2, so
     // the minimum cross-partition latency must survive mode switches.
@@ -269,11 +272,14 @@ class Nic {
 
   // Fault-path send: the wire is used either way (serialization happens), but
   // delivery can be dropped, delayed, or duplicated. Arrivals are kept sorted
-  // so PopArrived's front-of-queue contract survives reordering.
-  void ClientSendFaulty(ExecCtx& cli, unsigned ring, NicMessage msg) {
-    const NicFault f = hook_->OnRequest(cli.Now());
-    const Tick dep =
-        rx_link_.Depart(cli.Now(), msg.wire_bytes, hook_->LinkCostScale(cli.Now()));
+  // so PopArrived's front-of-queue contract survives reordering. Keyed off
+  // msg.issue_tick exactly like the fault-free path (issue_tick is the
+  // sender's local time at post, so a local inline send sees the same
+  // arithmetic as before the barrier-replay refactor, byte for byte).
+  void ApplySendFaulty(unsigned ring, NicMessage msg) {
+    const NicFault f = hook_->OnRequest(msg.issue_tick);
+    const Tick dep = rx_link_.Depart(msg.issue_tick, msg.wire_bytes,
+                                     hook_->LinkCostScale(msg.issue_tick));
     rx_messages_++;
     rx_bytes_ += msg.wire_bytes;
     const Tick base = dep + cfg_.rtt_ns / 2 + f.extra_delay;
@@ -341,6 +347,30 @@ class Nic {
                          : tx_link_.Depart(srv.Now(), bytes);
     tx_messages_++;
     tx_bytes_ += bytes;
+    if (UTPS_UNLIKELY(req.gate != nullptr)) {
+      // Retry-capable client without a fault hook (cluster-internal RPCs,
+      // crash-only plans): same guard + delivery as the faulty gate path,
+      // minus the fault decision. Completing the gate directly is safe on
+      // the parallel backend even though the gate lives on the client's
+      // partition: responses land at dep + rtt/2 >= the end of the current
+      // window, client fibers are parked while the NIC's partition runs, and
+      // RpcGate::ReadyAt never answers true before ready_at — so every poll
+      // sees the same verdict the serial engine would, and the barrier
+      // mutexes order the write itself (no data race, TSan-clean).
+      if (!req.gate->AcceptsResponse(req.rid)) {
+        return;
+      }
+      if (req.copy_out != nullptr && resp_src != nullptr) {
+        std::memcpy(req.copy_out, resp_src, resp_payload_len);
+      }
+      if (req.resp_len_out != nullptr) {
+        *req.resp_len_out = resp_payload_len;
+      }
+      const_cast<NicMessage&>(req).copy_out_len = resp_payload_len;
+      const Tick at = dep + cfg_.rtt_ns / 2;
+      req.gate->Complete(at < srv.Now() ? srv.Now() : at);
+      return;
+    }
     if (req.copy_out != nullptr && resp_src != nullptr) {
       std::memcpy(req.copy_out, resp_src, resp_payload_len);
     }

@@ -15,6 +15,12 @@
 //     the second apply can straddle another writer's PUT to the same key and
 //     a later read returns the resurrected value — caught by the checker as
 //     a stale-read linearizability violation.
+//  4. kDropRingEpochCheck — a cluster node skips its ownership/fence/freeze
+//     gate, so after a live migration flips the ring epoch the old owner
+//     keeps serving (and applying writes for) a shard it handed off, and
+//     stale-routed clients are never redirected. Caught by the cluster DST:
+//     the post-run replica audit sees the diverged copies, and the auditor's
+//     final reads from the real owner miss the stale-applied writes.
 //
 // Each mutation must be detected within the CI seed budget; the clean control
 // configuration must pass.
@@ -23,6 +29,7 @@
 #include <gtest/gtest.h>
 
 #include "check/mutation.h"
+#include "dst_cluster.h"
 #include "dst_harness.h"
 
 namespace utps::dst {
@@ -74,6 +81,22 @@ DstConfig DedupConfig(uint64_t seed) {
   return cfg;
 }
 
+// Put-heavy traffic over a small keyspace with a forced mid-run migration:
+// plenty of writes land after the ownership flip, and with the epoch gate
+// dropped they all land on the node that no longer owns the shard.
+DstClusterConfig ClusterMigConfig(uint64_t seed) {
+  DstClusterConfig cfg;
+  cfg.seed = seed;
+  cfg.nodes = 3;
+  cfg.shards = 8;
+  cfg.clients = 4;
+  cfg.ops_per_client = 48;
+  cfg.put_frac = 0.6;
+  cfg.forced.push_back(
+      cluster::ForcedMigration{100 * sim::kUsec, seed % 8, -1});
+  return cfg;
+}
+
 constexpr uint64_t kSeedBudget = 12;
 
 TEST(DstMutation, ControlRunsPass) {
@@ -85,6 +108,10 @@ TEST(DstMutation, ControlRunsPass) {
   // With the dedup window armed, the same dup-heavy fault plan is absorbed.
   const DstResult c = RunDst(DedupConfig(1));
   EXPECT_TRUE(c.ok) << c.error;
+  // With the epoch gate armed, the migration profile is clean too.
+  const DstClusterResult d = RunDstCluster(ClusterMigConfig(1));
+  EXPECT_TRUE(d.ok) << d.error;
+  EXPECT_GT(d.migrations, 0u);
 }
 
 TEST(DstMutation, DropSeqlockBumpCaught) {
@@ -154,6 +181,26 @@ TEST(DstMutation, DropDedupWindowCaught) {
   mut::Reset(mut::Mode::kNone);
   EXPECT_TRUE(caught)
       << "disabled dedup window survived " << kSeedBudget << " seeds";
+}
+
+TEST(DstMutation, DropRingEpochCheckCaught) {
+  mut::Reset(mut::Mode::kDropRingEpochCheck);
+  bool caught = false;
+  for (uint64_t seed = 1; seed <= kSeedBudget && !caught; seed++) {
+    const DstClusterResult r = RunDstCluster(ClusterMigConfig(seed));
+    ASSERT_GT(mut::g_fired, 0u) << "epoch gate never consulted";
+    if (!r.ok) {
+      caught = true;
+      // The stale owner keeps answering, so clients never hang: the failure
+      // must come from the replica audit or the history checker, not a
+      // stuck-client timeout.
+      EXPECT_EQ(r.error.find("stuck"), std::string::npos)
+          << "unexpected failure mode: " << r.error;
+    }
+  }
+  mut::Reset(mut::Mode::kNone);
+  EXPECT_TRUE(caught)
+      << "dropped ring-epoch check survived " << kSeedBudget << " seeds";
 }
 
 }  // namespace
